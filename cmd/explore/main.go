@@ -1,0 +1,72 @@
+// Command explore regenerates every experiment table of the reproduction
+// (DESIGN.md §4: E1–E14 and the A-series ablations) — the design-space
+// exploration loop the paper positions Spark for. With no arguments it
+// runs everything; pass experiment ids (e.g. "E12 A") to select.
+//
+// Usage:
+//
+//	explore [-n 16] [-csv] [E1 E2 ... A]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparkgo/internal/experiments"
+	"sparkgo/internal/report"
+)
+
+func main() {
+	n := flag.Int("n", 16, "ILD buffer size for the stage/ablation experiments")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() (*report.Table, error)
+	}
+	all := []exp{
+		{"E1", experiments.E1Fig02Unroll},
+		{"E2", experiments.E2Fig03ConstPropParallel},
+		{"E3", experiments.E3Fig04Chaining},
+		{"E4", experiments.E4Fig05Trails},
+		{"E5", experiments.E5E6WireVariables},
+		{"E7", func() (*report.Table, error) { return experiments.E7Fig10Behavior(40) }},
+		{"E8", func() (*report.Table, error) { return experiments.E8toE11Stages(*n) }},
+		{"E12", func() (*report.Table, error) {
+			return experiments.E12Fig15SingleCycle([]int{4, 8, 16, 32}, 10)
+		}},
+		{"E13", func() (*report.Table, error) { return experiments.E13Baseline([]int{4, 8, 16}) }},
+		{"E14", func() (*report.Table, error) { return experiments.E14Fig16Natural(8) }},
+		{"A", func() (*report.Table, error) { return experiments.Ablations(*n) }},
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] &&
+			!(want["E5"] && e.id == "E6") && !(want["E8"] && e.id == "E11") {
+			continue
+		}
+		t, err := e.run()
+		if t != nil {
+			if *csv {
+				fmt.Println(t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,31 @@
+// Command ildgen emits the instruction-length-decoder behavioral
+// description for a given buffer size (the paper's Fig 10 form, or the
+// Fig 16 natural while-loop form with -natural), ready for cmd/sparkgo.
+//
+// Usage:
+//
+//	ildgen [-n 16] [-natural] > ild16.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparkgo/internal/ild"
+)
+
+func main() {
+	n := flag.Int("n", 16, "instruction buffer size in bytes")
+	natural := flag.Bool("natural", false, "emit the Fig 16 natural while-loop form")
+	flag.Parse()
+	if *n < 1 || *n > 256 {
+		fmt.Fprintln(os.Stderr, "ildgen: n must be in 1..256")
+		os.Exit(2)
+	}
+	if *natural {
+		fmt.Print(ild.SourceNatural(*n))
+	} else {
+		fmt.Print(ild.SourceFig10(*n))
+	}
+}

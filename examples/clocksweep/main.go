@@ -1,0 +1,51 @@
+// Clock-period design-space exploration: the same behavioral description
+// scheduled under a sweep of cycle-time targets, showing the
+// latency/cycle-time trade-off the chaining scheduler exposes (paper §1:
+// "packing all the resulting operations ... in the smallest number of
+// cycles and in the shortest cycle time"). A tight clock forces the
+// dataflow across more cycles with registers at the seams; a loose clock
+// lets everything chain into one cycle.
+//
+//	go run ./examples/clocksweep [-n 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/delay"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/report"
+)
+
+func main() {
+	n := flag.Int("n", 8, "ILD buffer size")
+	flag.Parse()
+
+	prog := ild.Program(*n)
+	t := report.New(fmt.Sprintf("ILD n=%d under clock-period sweep", *n),
+		"clock target (gu)", "cycles", "achieved path (gu)", "registers", "verified")
+	for _, clock := range []float64{0, 400, 200, 100, 50} {
+		opt := core.Options{Preset: core.MicroprocessorBlock}
+		if clock > 0 {
+			opt.Model = delay.Default().WithClock(clock)
+		}
+		res, err := core.Synthesize(prog, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.Verify(res, 15, 9); err != nil {
+			log.Fatalf("clock %.0f: %v", clock, err)
+		}
+		label := "unconstrained"
+		if clock > 0 {
+			label = fmt.Sprintf("%.0f", clock)
+		}
+		t.Add(label, res.Cycles, res.Stats.CriticalPath, res.Stats.Registers, true)
+	}
+	fmt.Println(t)
+	fmt.Println("tighter clocks spread the chained dataflow across more cycles;")
+	fmt.Println("every configuration remains functionally equivalent to the source")
+}

@@ -1,0 +1,217 @@
+// Package core is the sparkgo synthesizer: the coordinated application of
+// source-level parallelizing transformations, chaining-aware scheduling,
+// binding, and RTL generation that the Spark paper presents as its
+// contribution. One call to Synthesize runs the full methodology of §6:
+//
+//	behavioral C  →  inline (Fig 12)  →  speculate (Fig 11)
+//	              →  unroll fully (Fig 13)  →  propagate constants (Fig 14)
+//	              →  clean (copy-prop, CSE, DCE)
+//	              →  schedule with chaining across conditionals (§3.1)
+//	              →  datapath + FSM netlist (Fig 15b)  →  VHDL / Verilog
+//
+// Presets select between the paper's microprocessor-block regime
+// (unlimited resources, full parallelization, single-cycle goal) and the
+// classical-HLS baseline it contrasts against (resource-constrained,
+// no code motion, sequential FSM). Individual transformations can be
+// disabled for the ablation experiments of DESIGN.md (A1–A4).
+package core
+
+import (
+	"fmt"
+
+	"sparkgo/internal/delay"
+	"sparkgo/internal/dfa"
+	"sparkgo/internal/htg"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
+	"sparkgo/internal/sched"
+	"sparkgo/internal/transform"
+)
+
+// Preset selects a synthesis regime.
+type Preset int
+
+const (
+	// MicroprocessorBlock is the paper's regime: unlimited resources,
+	// every coordinated transformation, chaining across conditionals,
+	// no clock bound (the achieved critical path is reported).
+	MicroprocessorBlock Preset = iota
+	// ClassicalASIC is the baseline: a small fixed resource allocation,
+	// no parallelizing code motions, sequential FSM scheduling.
+	ClassicalASIC
+)
+
+func (p Preset) String() string {
+	if p == MicroprocessorBlock {
+		return "microprocessor-block"
+	}
+	return "classical-asic"
+}
+
+// Options configures a synthesis run. The zero value is the
+// MicroprocessorBlock preset with the default delay model.
+type Options struct {
+	Preset    Preset
+	Model     *delay.Model
+	Resources *sched.Resources // nil: preset default
+	MaxUnroll int              // 0: transform.DefaultMaxUnroll
+
+	// Ablation switches (DESIGN.md experiments A1-A4).
+	NoSpeculation bool
+	NoUnroll      bool
+	NoConstProp   bool
+	NoChaining    bool
+	NoCSE         bool
+	// NormalizeWhile enables the Fig 16 while→for source transformation
+	// before everything else.
+	NormalizeWhile bool
+
+	// CustomPasses, when non-empty, replaces the preset's transformation
+	// pipeline entirely (synthesis scripts, §4 of the paper).
+	CustomPasses []transform.Pass
+	// CustomRounds bounds fixed-point iteration of the custom pipeline
+	// (0 = the default of 6).
+	CustomRounds int
+}
+
+// StageMetrics snapshots program shape after one transformation stage —
+// the per-figure numbers EXPERIMENTS.md reports.
+type StageMetrics struct {
+	Pass    string
+	Changed bool
+	Stmts   int
+	Ops     int
+	Ifs     int
+	Loops   int
+	Calls   int
+	Funcs   int
+}
+
+// Result is a completed synthesis.
+type Result struct {
+	Input    *ir.Program // untouched original
+	Program  *ir.Program // transformed program
+	Graph    *htg.Graph
+	Schedule *sched.Result
+	Module   *rtl.Module
+	Stages   []StageMetrics
+	Stats    delay.Report
+	Cycles   int // FSM states (lower bound on latency; loops add trips)
+	Preset   Preset
+}
+
+// Synthesize runs the full flow on a behavioral program.
+func Synthesize(input *ir.Program, opt Options) (*Result, error) {
+	if opt.Model == nil {
+		opt.Model = delay.Default()
+	}
+	work := ir.CloneProgram(input)
+	res := &Result{Input: input, Program: work, Preset: opt.Preset}
+
+	observer := func(pass string, changed bool, p *ir.Program) {
+		m := p.Main()
+		if m == nil {
+			return
+		}
+		res.Stages = append(res.Stages, StageMetrics{
+			Pass: pass, Changed: changed,
+			Stmts: ir.CountStmts(m), Ops: ir.CountOps(m),
+			Ifs: ir.CountIfs(m), Loops: ir.CountLoops(m),
+			Calls: ir.CountCalls(m), Funcs: len(p.Funcs),
+		})
+	}
+
+	rounds := 6
+	if opt.CustomRounds > 0 {
+		rounds = opt.CustomRounds
+	}
+	pl := &transform.Pipeline{Passes: buildPasses(opt), MaxRounds: rounds, Observer: observer}
+	if err := pl.Run(work); err != nil {
+		return nil, fmt.Errorf("core: transform: %w", err)
+	}
+	if err := ir.Validate(work); err != nil {
+		return nil, fmt.Errorf("core: transformed program invalid: %w", err)
+	}
+	main := work.Main()
+	if main == nil {
+		return nil, fmt.Errorf("core: program has no main function")
+	}
+	if ir.CountCalls(main) > 0 {
+		return nil, fmt.Errorf("core: calls survive transformation (recursive or non-inlinable)")
+	}
+
+	g, err := htg.Lower(work, main)
+	if err != nil {
+		return nil, fmt.Errorf("core: lower: %w", err)
+	}
+	res.Graph = g
+
+	cfg := schedConfig(opt, g)
+	s, err := sched.Schedule(g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule: %w", err)
+	}
+	res.Schedule = s
+	res.Cycles = s.NumStates
+
+	m, err := rtl.Build(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: rtl: %w", err)
+	}
+	res.Module = m
+	res.Stats = m.Stats(opt.Model)
+	return res, nil
+}
+
+func buildPasses(opt Options) []transform.Pass {
+	if len(opt.CustomPasses) > 0 {
+		return opt.CustomPasses
+	}
+	var passes []transform.Pass
+	if opt.NormalizeWhile {
+		passes = append(passes, transform.NormalizeWhile())
+	}
+	passes = append(passes,
+		transform.Inline(nil),
+		transform.DropUncalledFuncs(),
+	)
+	if opt.Preset == MicroprocessorBlock {
+		if !opt.NoSpeculation {
+			passes = append(passes, transform.Speculate())
+		}
+		if !opt.NoUnroll {
+			passes = append(passes, transform.UnrollFull(nil, opt.MaxUnroll))
+		}
+	}
+	if !opt.NoConstProp {
+		passes = append(passes, transform.ConstProp())
+	}
+	passes = append(passes, transform.ConstFold(), transform.CopyProp())
+	if !opt.NoCSE && opt.Preset == MicroprocessorBlock {
+		passes = append(passes, transform.CSE())
+	}
+	passes = append(passes, transform.DCE())
+	return passes
+}
+
+func schedConfig(opt Options, g *htg.Graph) sched.Config {
+	cfg := sched.Config{Model: opt.Model, DepOpts: dfa.DefaultOptions(),
+		DisableChaining: opt.NoChaining}
+	switch opt.Preset {
+	case MicroprocessorBlock:
+		cfg.Mode = sched.ModeChain
+		cfg.Resources = sched.Unlimited()
+		// A design that kept loops (NoUnroll ablation or unbounded
+		// loops) cannot flatten: fall back to sequential control.
+		if g.HasLoops() {
+			cfg.Mode = sched.ModeSequential
+		}
+	case ClassicalASIC:
+		cfg.Mode = sched.ModeSequential
+		cfg.Resources = sched.Classical()
+	}
+	if opt.Resources != nil {
+		cfg.Resources = *opt.Resources
+	}
+	return cfg
+}

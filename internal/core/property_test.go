@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+	"sparkgo/internal/testutil"
+)
+
+// progGen generates random behavioral programs: straight-line arithmetic,
+// nested conditionals, bounded counted loops, and array traffic — the
+// whole statement surface the synthesizer accepts. Every generated program
+// is then pushed through the full pipeline under several configurations
+// and co-simulated against the interpreter. This is the fuzzing layer that
+// caught the CSE read-set and stale-guard scheduler bugs during
+// development.
+type progGen struct {
+	rng     *rand.Rand
+	b       strings.Builder
+	scalars []string // readable scalars (includes live loop indices)
+	targets []string // assignable scalars (loop indices excluded so loops terminate)
+	arrays  []string
+	depth   int
+}
+
+func (g *progGen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(256))
+		case 1:
+			return g.pick(g.scalars)
+		default:
+			return fmt.Sprintf("%s[%s & %d]", g.pick(g.arrays), g.pick(g.scalars), 3)
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", ">>", "<<"}
+	op := ops[g.rng.Intn(len(ops))]
+	r := g.expr(depth - 1)
+	if op == ">>" || op == "<<" {
+		r = fmt.Sprintf("%d", g.rng.Intn(7))
+	}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, r)
+}
+
+func (g *progGen) cond() string {
+	cmps := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.pick(g.scalars),
+		cmps[g.rng.Intn(len(cmps))], g.expr(1))
+}
+
+func (g *progGen) stmt(indent string) {
+	g.depth++
+	defer func() { g.depth-- }()
+	switch choice := g.rng.Intn(10); {
+	case choice < 5 || g.depth > 3: // assignment
+		if g.rng.Intn(4) == 0 {
+			fmt.Fprintf(&g.b, "%s%s[%s & 3] = %s;\n", indent,
+				g.pick(g.arrays), g.pick(g.scalars), g.expr(2))
+		} else {
+			fmt.Fprintf(&g.b, "%s%s = %s;\n", indent, g.pick(g.targets), g.expr(2))
+		}
+	case choice < 8: // conditional
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", indent, g.cond())
+		n := 1 + g.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			g.stmt(indent + "  ")
+		}
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "%s} else {\n", indent)
+			for i := 0; i < 1+g.rng.Intn(2); i++ {
+				g.stmt(indent + "  ")
+			}
+		}
+		fmt.Fprintf(&g.b, "%s}\n", indent)
+	default: // bounded counted loop over a fresh index
+		idx := fmt.Sprintf("li%d", g.rng.Intn(1000000))
+		fmt.Fprintf(&g.b, "%s{ uint8 %s;\n", indent, idx)
+		fmt.Fprintf(&g.b, "%sfor (%s = 0; %s < %d; %s++) {\n",
+			indent, idx, idx, 2+g.rng.Intn(4), idx)
+		saved := g.scalars
+		g.scalars = append(g.scalars, idx)
+		for i := 0; i < 1+g.rng.Intn(2); i++ {
+			g.stmt(indent + "  ")
+		}
+		g.scalars = saved
+		fmt.Fprintf(&g.b, "%s}\n%s}\n", indent, indent)
+	}
+}
+
+func (g *progGen) generate() string {
+	g.scalars = []string{"g0", "g1", "g2", "l0", "l1"}
+	g.targets = append([]string{}, g.scalars...)
+	g.arrays = []string{"arr0", "arr1"}
+	g.b.WriteString("uint8 g0;\nuint8 g1;\nuint8 g2;\nuint8 arr0[4];\nuint8 arr1[4];\n")
+	g.b.WriteString("void main() {\n  uint8 l0;\n  uint8 l1;\n")
+	n := 3 + g.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		g.stmt("  ")
+	}
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+func TestRandomProgramsSynthesizeCorrectly(t *testing.T) {
+	configs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"micro", core.Options{Preset: core.MicroprocessorBlock}},
+		{"classical", core.Options{Preset: core.ClassicalASIC}},
+		{"no-chaining", core.Options{NoChaining: true}},
+	}
+	rng := rand.New(rand.NewSource(20260611))
+	programs := 0
+	for trial := 0; trial < 40; trial++ {
+		src := (&progGen{rng: rand.New(rand.NewSource(rng.Int63()))}).generate()
+		p, err := parser.Parse(fmt.Sprintf("fuzz%d", trial), src)
+		if err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v\n%s", trial, err, src)
+		}
+		programs++
+		for _, cfg := range configs {
+			res, err := core.Synthesize(p, cfg.opt)
+			if err != nil {
+				t.Fatalf("trial %d [%s]: synthesis failed: %v\n%s", trial, cfg.name, err, src)
+			}
+			if err := core.Verify(res, 8, int64(trial)); err != nil {
+				t.Fatalf("trial %d [%s]: %v\n%s", trial, cfg.name, err, src)
+			}
+		}
+	}
+	if programs == 0 {
+		t.Fatal("no programs generated")
+	}
+}
+
+// The transformed program itself (before hardware) must stay equivalent
+// too — this isolates transformation bugs from backend bugs when the
+// fuzzer trips.
+func TestRandomProgramsTransformEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		src := (&progGen{rng: rand.New(rand.NewSource(rng.Int63()))}).generate()
+		p, err := parser.Parse("fuzz", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Synthesize(p, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if err := testutil.Equivalent(p, res.Program, 12, int64(trial*7+1)); err != nil {
+			t.Fatalf("trial %d: transforms diverge: %v\n--- source ---\n%s\n--- transformed ---\n%s",
+				trial, err, src, ir.Print(res.Program))
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"sparkgo/internal/delay"
+	"sparkgo/internal/script"
+)
+
+// FromScript converts a parsed synthesis script into synthesizer options.
+// A script that lists passes replaces the preset pipeline with exactly
+// that sequence (the paper's designer-in-the-loop workflow, §4).
+func FromScript(s *script.Script) Options {
+	opt := Options{}
+	if s.Preset == script.Classical {
+		opt.Preset = ClassicalASIC
+	}
+	if s.Clock > 0 {
+		opt.Model = delay.Default().WithClock(s.Clock)
+	}
+	opt.CustomPasses = s.Passes
+	opt.CustomRounds = s.Rounds
+	return opt
+}

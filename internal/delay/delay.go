@@ -1,0 +1,189 @@
+// Package delay is the technology model: normalized gate delays and area
+// for datapath operators, multiplexers, and lookup structures, plus the
+// arithmetic the scheduler and the RTL critical-path engine share.
+//
+// The paper's claims are structural (a single-cycle architecture exists;
+// chaining across conditionals is feasible; the ripple logic dominates the
+// cycle time), so absolute numbers are irrelevant — what matters is a
+// consistent model in which comparisons and crossovers are meaningful. The
+// unit is the delay of one 2-input NAND ("gate units", gu); areas are in
+// NAND-equivalents. Figures follow classic logic-synthesis estimates:
+// ripple adders cost O(w), comparators O(log w) with a carry tree, muxes
+// O(log fan-in), etc.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"sparkgo/internal/ir"
+)
+
+// Model holds technology parameters. The zero value is unusable; use
+// Default() or construct explicitly.
+type Model struct {
+	// NandDelay scales all delays (gu per NAND); 1.0 for the normalized
+	// model, or e.g. 90 (ps) to mimic a 180nm-era process like the
+	// paper's.
+	NandDelay float64
+	// ClockPeriod is the target cycle time in the same unit, used by the
+	// scheduler's chaining test. Zero means "unconstrained" (everything
+	// may chain; the achieved critical path is reported instead).
+	ClockPeriod float64
+}
+
+// Default returns the normalized model (NAND = 1 gu) with no clock bound.
+func Default() *Model { return &Model{NandDelay: 1} }
+
+// WithClock returns a copy of m with the given clock period.
+func (m *Model) WithClock(period float64) *Model {
+	c := *m
+	c.ClockPeriod = period
+	return &c
+}
+
+func width(t *ir.Type) int {
+	if t == nil {
+		return 1
+	}
+	if t.IsArray() {
+		return t.Elem.Width()
+	}
+	if t.IsVoid() {
+		return 1
+	}
+	return t.Width()
+}
+
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// BinOpDelay returns the delay of a two-input operator producing type t.
+func (m *Model) BinOpDelay(op ir.BinOp, t *ir.Type) float64 {
+	w := float64(width(t))
+	var d float64
+	switch op {
+	case ir.OpAdd, ir.OpSub:
+		// Carry-lookahead adder: ~2*log2(w)+4.
+		d = 2*log2ceil(int(w)) + 4
+	case ir.OpMul:
+		// Wallace-tree multiplier: ~6*log2(w)+8.
+		d = 6*log2ceil(int(w)) + 8
+	case ir.OpDiv, ir.OpRem:
+		// Iterative array divider: O(w).
+		d = 4*w + 8
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		d = 1.5
+	case ir.OpShl, ir.OpShr:
+		// Barrel shifter: one mux level per shift bit.
+		d = 1.5 * log2ceil(int(w))
+	case ir.OpEq, ir.OpNe:
+		// XOR row + AND tree.
+		d = 1 + log2ceil(int(w))
+	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		// Subtract-based comparison.
+		d = 2*log2ceil(int(w)) + 4
+	case ir.OpLAnd, ir.OpLOr:
+		d = 1
+	default:
+		d = 2
+	}
+	return d * m.NandDelay
+}
+
+// UnOpDelay returns the delay of a unary operator producing type t.
+func (m *Model) UnOpDelay(op ir.UnOp, t *ir.Type) float64 {
+	switch op {
+	case ir.OpNeg:
+		// Invert + increment: like an add.
+		return (2*log2ceil(width(t)) + 4) * m.NandDelay
+	case ir.OpNot, ir.OpLNot:
+		return 0.5 * m.NandDelay
+	}
+	return m.NandDelay
+}
+
+// MuxDelay returns the delay of an n-way multiplexer (n >= 2): one 2:1
+// stage per tree level.
+func (m *Model) MuxDelay(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 1.5 * log2ceil(n) * m.NandDelay
+}
+
+// ArrayReadDelay is the delay of reading one element of an n-entry array
+// with a dynamic index: an n-way mux plus index decode.
+func (m *Model) ArrayReadDelay(n int) float64 {
+	return m.MuxDelay(n) + m.NandDelay
+}
+
+// CastDelay: rewiring only.
+func (m *Model) CastDelay() float64 { return 0 }
+
+// RegisterSetup is the setup+clk→q overhead charged once per cycle.
+func (m *Model) RegisterSetup() float64 { return 2 * m.NandDelay }
+
+// --- area (NAND-equivalents) ---
+
+// BinOpArea estimates operator area.
+func (m *Model) BinOpArea(op ir.BinOp, t *ir.Type) float64 {
+	w := float64(width(t))
+	switch op {
+	case ir.OpAdd, ir.OpSub:
+		return 12 * w
+	case ir.OpMul:
+		return 18 * w * w
+	case ir.OpDiv, ir.OpRem:
+		return 24 * w * w
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return 1.5 * w
+	case ir.OpShl, ir.OpShr:
+		return 3 * w * log2ceil(int(w))
+	case ir.OpEq, ir.OpNe:
+		return 3 * w
+	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		return 10 * w
+	case ir.OpLAnd, ir.OpLOr:
+		return 2
+	}
+	return 2 * w
+}
+
+// UnOpArea estimates unary operator area.
+func (m *Model) UnOpArea(op ir.UnOp, t *ir.Type) float64 {
+	w := float64(width(t))
+	if op == ir.OpNeg {
+		return 8 * w
+	}
+	return w
+}
+
+// MuxArea estimates n-way mux area for a w-bit datum.
+func (m *Model) MuxArea(n, w int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 3 * float64(n-1) * float64(w)
+}
+
+// RegArea estimates a w-bit register.
+func (m *Model) RegArea(w int) float64 { return 6 * float64(w) }
+
+// Report is a human-readable summary of a delay/area pair.
+type Report struct {
+	CriticalPath float64 // gu
+	Area         float64 // NAND equivalents
+	Registers    int
+	Muxes        int
+	FUs          int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("critical-path=%.1fgu area=%.0f regs=%d muxes=%d fus=%d",
+		r.CriticalPath, r.Area, r.Registers, r.Muxes, r.FUs)
+}

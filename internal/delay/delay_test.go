@@ -1,0 +1,91 @@
+package delay_test
+
+import (
+	"testing"
+
+	"sparkgo/internal/delay"
+	"sparkgo/internal/ir"
+)
+
+func TestDelaysScaleWithWidth(t *testing.T) {
+	m := delay.Default()
+	if m.BinOpDelay(ir.OpAdd, ir.UInt(32)) <= m.BinOpDelay(ir.OpAdd, ir.UInt(4)) {
+		t.Error("32-bit add should be slower than 4-bit add")
+	}
+	if m.BinOpDelay(ir.OpMul, ir.UInt(16)) <= m.BinOpDelay(ir.OpAdd, ir.UInt(16)) {
+		t.Error("multiply should be slower than add")
+	}
+	if m.BinOpDelay(ir.OpDiv, ir.UInt(16)) <= m.BinOpDelay(ir.OpMul, ir.UInt(16)) {
+		t.Error("divide should be slower than multiply")
+	}
+	if m.BinOpDelay(ir.OpAnd, ir.UInt(32)) >= m.BinOpDelay(ir.OpAdd, ir.UInt(8)) {
+		t.Error("bitwise ops should be fast")
+	}
+}
+
+func TestMuxDelayGrowsWithFanIn(t *testing.T) {
+	m := delay.Default()
+	if m.MuxDelay(2) <= 0 {
+		t.Error("2:1 mux must cost something")
+	}
+	if m.MuxDelay(16) <= m.MuxDelay(2) {
+		t.Error("16:1 mux should be slower than 2:1")
+	}
+	if m.MuxDelay(1) != 0 {
+		t.Error("degenerate mux is free")
+	}
+}
+
+func TestNandScaling(t *testing.T) {
+	base := delay.Default()
+	scaled := &delay.Model{NandDelay: 90}
+	r := scaled.BinOpDelay(ir.OpAdd, ir.U8) / base.BinOpDelay(ir.OpAdd, ir.U8)
+	if r < 89.9 || r > 90.1 {
+		t.Errorf("scaling factor = %f, want 90", r)
+	}
+}
+
+func TestWithClock(t *testing.T) {
+	m := delay.Default()
+	c := m.WithClock(40)
+	if c.ClockPeriod != 40 {
+		t.Errorf("clock = %f", c.ClockPeriod)
+	}
+	if m.ClockPeriod != 0 {
+		t.Error("WithClock mutated the receiver")
+	}
+}
+
+func TestAreasPositive(t *testing.T) {
+	m := delay.Default()
+	ops := []ir.BinOp{ir.OpAdd, ir.OpMul, ir.OpDiv, ir.OpAnd, ir.OpShl, ir.OpEq, ir.OpLt}
+	for _, op := range ops {
+		if m.BinOpArea(op, ir.U8) <= 0 {
+			t.Errorf("area of %v must be positive", op)
+		}
+	}
+	if m.MuxArea(4, 8) <= m.MuxArea(2, 8) {
+		t.Error("wider mux should cost more area")
+	}
+	if m.RegArea(16) <= m.RegArea(4) {
+		t.Error("wider register should cost more area")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := delay.Report{CriticalPath: 42.5, Area: 100, Registers: 3, Muxes: 4, FUs: 5}
+	if r.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestBoolAndArrayWidths(t *testing.T) {
+	m := delay.Default()
+	// Bool-typed compare result should not panic and be positive.
+	if m.BinOpDelay(ir.OpEq, ir.Bool) <= 0 {
+		t.Error("bool compare delay must be positive")
+	}
+	if m.ArrayReadDelay(16) <= m.ArrayReadDelay(4) {
+		t.Error("bigger array read should be slower")
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestAllExperiments(t *testing.T) {
+	type exp struct {
+		name string
+		fn   func() (interface{ String() string }, error)
+	}
+	run := func(name string, tab interface{ String() string }, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, tab)
+		}
+		t.Logf("%s:\n%s", name, tab)
+	}
+	tb, err := E1Fig02Unroll()
+	run("E1", tb, err)
+	tb, err = E2Fig03ConstPropParallel()
+	run("E2", tb, err)
+	tb, err = E3Fig04Chaining()
+	run("E3", tb, err)
+	tb, err = E4Fig05Trails()
+	run("E4", tb, err)
+	tb, err = E5E6WireVariables()
+	run("E5E6", tb, err)
+	tb, err = E7Fig10Behavior(10)
+	run("E7", tb, err)
+	tb, err = E8toE11Stages(8)
+	run("E8-E11", tb, err)
+	tb, err = E12Fig15SingleCycle([]int{4, 8, 16}, 5)
+	run("E12", tb, err)
+	tb, err = E13Baseline([]int{4, 8})
+	run("E13", tb, err)
+	tb, err = E14Fig16Natural(8)
+	run("E14", tb, err)
+	tb, err = Ablations(8)
+	run("Ablations", tb, err)
+}

@@ -1,0 +1,270 @@
+package htg_test
+
+import (
+	"testing"
+
+	"sparkgo/internal/htg"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+	"sparkgo/internal/transform"
+)
+
+func lower(t *testing.T, src string) *htg.Graph {
+	t.Helper()
+	p := parser.MustParse("t", src)
+	if _, err := transform.Inline(nil).Run(p); err != nil {
+		t.Fatal(err)
+	}
+	g, err := htg.Lower(p, p.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLowerStraightline(t *testing.T) {
+	g := lower(t, `
+uint8 a;
+uint8 out;
+void main() {
+  out = a * 2 + 1;
+}
+`)
+	if len(g.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(g.Blocks))
+	}
+	// mul, add (+ copies as needed): at least 2 ops, all in one BB.
+	if g.OpCount() < 2 {
+		t.Errorf("ops = %d, want >= 2", g.OpCount())
+	}
+	if g.HasLoops() {
+		t.Error("unexpected loops")
+	}
+}
+
+func TestLowerThreeAddressForm(t *testing.T) {
+	g := lower(t, `
+uint8 a;
+uint8 b;
+uint8 out;
+void main() {
+  out = (a + b) * (a - b);
+}
+`)
+	// Every op has at most 3 operands and exactly one destination (or is
+	// a store).
+	for _, op := range g.AllOps() {
+		if len(op.Args) > 3 {
+			t.Errorf("op %s has %d args", op, len(op.Args))
+		}
+		if op.Kind != htg.OpStore && op.Dst == nil {
+			t.Errorf("op %s missing destination", op)
+		}
+	}
+}
+
+func TestLowerGuards(t *testing.T) {
+	g := lower(t, `
+uint8 a;
+uint8 out;
+void main() {
+  if (a > 1) {
+    if (a > 2) {
+      out = 3;
+    } else {
+      out = 2;
+    }
+  } else {
+    out = 1;
+  }
+}
+`)
+	// Find the deepest guarded blocks: the inner branches carry two
+	// guard terms.
+	deepest := 0
+	for _, bb := range g.Blocks {
+		if len(bb.Guard) > deepest {
+			deepest = len(bb.Guard)
+		}
+	}
+	if deepest != 2 {
+		t.Errorf("deepest guard = %d, want 2", deepest)
+	}
+}
+
+func TestMutuallyExclusive(t *testing.T) {
+	g := lower(t, `
+uint8 a;
+uint8 x;
+uint8 y;
+void main() {
+  if (a > 1) {
+    x = 1;
+  } else {
+    y = 2;
+  }
+}
+`)
+	var thenBB, elseBB *htg.BasicBlock
+	for _, bb := range g.Blocks {
+		for _, op := range bb.Ops {
+			if w := op.Writes(); w != nil {
+				switch w.Name {
+				case "x":
+					thenBB = bb
+				case "y":
+					elseBB = bb
+				}
+			}
+		}
+	}
+	if thenBB == nil || elseBB == nil {
+		t.Fatal("branch blocks not found")
+	}
+	if !htg.MutuallyExclusive(thenBB, elseBB) {
+		t.Error("then/else blocks should be mutually exclusive")
+	}
+	if htg.MutuallyExclusive(thenBB, thenBB) {
+		t.Error("a block is not exclusive with itself")
+	}
+}
+
+func TestTrailsFig5Shape(t *testing.T) {
+	// The paper's Fig 5: three trails back from the consumer block.
+	g := lower(t, `
+uint8 a;
+uint8 b;
+uint8 c;
+uint8 d;
+bool cond1;
+bool cond2;
+uint8 o2;
+void main() {
+  uint8 o1;
+  if (cond1) {
+    if (cond2) {
+      o1 = a;
+    } else {
+      o1 = b;
+    }
+  } else {
+    o1 = c;
+  }
+  o2 = o1 + d;
+}
+`)
+	var target *htg.BasicBlock
+	for _, bb := range g.Blocks {
+		for _, op := range bb.Ops {
+			if w := op.Writes(); w != nil && w.Name == "o2" {
+				target = bb
+			}
+		}
+	}
+	trails := g.Trails(target)
+	if len(trails) != 3 {
+		t.Fatalf("trails = %d, want 3", len(trails))
+	}
+	for i, tr := range trails {
+		if tr[len(tr)-1] != target {
+			t.Errorf("trail %d does not end at target", i)
+		}
+	}
+}
+
+func TestTrailsFallThroughIf(t *testing.T) {
+	// An if without else has two trails to a later block: through the
+	// branch and around it.
+	g := lower(t, `
+uint8 a;
+uint8 out;
+void main() {
+  uint8 x;
+  x = 1;
+  if (a > 1) {
+    x = 2;
+  }
+  out = x;
+}
+`)
+	var target *htg.BasicBlock
+	for _, bb := range g.Blocks {
+		for _, op := range bb.Ops {
+			if w := op.Writes(); w != nil && w.Name == "out" {
+				target = bb
+			}
+		}
+	}
+	trails := g.Trails(target)
+	if len(trails) != 2 {
+		t.Errorf("trails = %d, want 2 (through and around)", len(trails))
+	}
+}
+
+func TestLowerLoops(t *testing.T) {
+	g := lower(t, `
+uint8 data[4];
+uint16 sum;
+void main() {
+  uint8 i;
+  for (i = 0; i < 4; i++) {
+    sum += data[i];
+  }
+}
+`)
+	if !g.HasLoops() {
+		t.Fatal("loop not lowered to LoopNode")
+	}
+	var loop *htg.LoopNode
+	htg.WalkNodes(g.Root, func(n htg.Node) {
+		if l, ok := n.(*htg.LoopNode); ok {
+			loop = l
+		}
+	})
+	if loop == nil || loop.CondBB == nil || loop.Cond == nil {
+		t.Fatal("loop structure incomplete")
+	}
+	if loop.InitBB == nil {
+		t.Error("for-loop init block missing")
+	}
+}
+
+func TestLowerRejectsCalls(t *testing.T) {
+	p := parser.MustParse("t", `
+uint8 out;
+uint8 f() {
+  return 1;
+}
+void main() {
+  out = f();
+}
+`)
+	if _, err := htg.Lower(p, p.Main()); err == nil {
+		t.Error("expected error for un-inlined call")
+	}
+}
+
+func TestLowerRejectsNonTailReturn(t *testing.T) {
+	f := ir.NewFunc("main", ir.U8)
+	x := f.NewLocal("x", ir.U8)
+	f.Body.Add(
+		ir.If(ir.Lt(ir.V(x), ir.C(1, ir.U8)),
+			ir.NewBlock(&ir.ReturnStmt{Val: ir.C(0, ir.U8)}), nil),
+		&ir.ReturnStmt{Val: ir.V(x)},
+	)
+	p := ir.NewProgram("t")
+	p.AddFunc(f)
+	if _, err := htg.Lower(p, f); err == nil {
+		t.Error("expected error for non-tail return")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	v := &ir.Var{Name: "x", Type: ir.U8}
+	if got := htg.VarOperand(v).String(); got != "x" {
+		t.Errorf("VarOperand = %q", got)
+	}
+	if got := htg.ConstOperand(300, ir.U8).String(); got != "44" {
+		t.Errorf("ConstOperand canon = %q, want 44 (300 mod 256)", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package ild is the paper's case study (§5–6): an instruction length
+// decoder (ILD) for a synthetic variable-length instruction set with the
+// same structure as the Pentium(R) decoder the paper describes —
+// instructions of 1 to 11 bytes whose length is determined by examining up
+// to 4 bytes, each contributing a length component and a "need the next
+// byte" decision.
+//
+// The proprietary Pentium length tables are replaced by a synthetic
+// encoding over the byte's high bits (DESIGN.md §2 records the
+// substitution):
+//
+//	LengthContribution_1(b) = 1 + b[6]          ∈ {1,2}
+//	LengthContribution_k(b) = 1 + b[6] + b[5]   ∈ {1,2,3}   (k = 2,3,4)
+//	Need_2nd_Byte(b)  = b[7]   (checked on byte i)
+//	Need_3rd_Byte(b)  = b[7]   (checked on byte i+1)
+//	Need_4th_Byte(b)  = b[7]   (checked on byte i+2)
+//
+// Total instruction length ∈ [1, 2+3+3+3] = [1, 11] bytes, exactly the
+// paper's range. The package provides the reference software decoder (the
+// golden model), generators for the behavioral-C descriptions of Fig 10
+// (guarded for-loop form) and Fig 16 (natural while form) for any buffer
+// size n, and instruction-stream generators for verification.
+package ild
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// MaxInstrLen is the maximum instruction length in bytes.
+const MaxInstrLen = 11
+
+// LookAhead is how many bytes past the buffer the decoder may examine
+// (an instruction starting at the last buffer byte reads up to 3 more).
+const LookAhead = 3
+
+// LC1 is the length contribution of the first instruction byte.
+func LC1(b byte) int { return 1 + int((b>>6)&1) }
+
+// LCk is the length contribution of bytes 2..4.
+func LCk(b byte) int { return 1 + int((b>>6)&1) + int((b>>5)&1) }
+
+// NeedNext reports whether the instruction extends past this byte
+// (checked on bytes 1..3 of the instruction).
+func NeedNext(b byte) bool { return (b>>7)&1 == 1 }
+
+// CalcLen computes the length of the instruction starting at buf[i],
+// examining up to 4 bytes. Bytes beyond the buffer read as zero (the
+// paper's footnote 2: zero length contribution past the buffer).
+func CalcLen(buf []byte, i int) int {
+	at := func(k int) byte {
+		if k < len(buf) {
+			return buf[k]
+		}
+		return 0
+	}
+	length := LC1(at(i))
+	if NeedNext(at(i)) {
+		length += LCk(at(i + 1))
+		if NeedNext(at(i + 1)) {
+			length += LCk(at(i + 2))
+			if NeedNext(at(i + 2)) {
+				length += LCk(at(i + 3))
+			}
+		}
+	}
+	return length
+}
+
+// Decode is the reference software decoder: the golden model every
+// behavioral and RTL implementation must match. It scans an n-byte buffer
+// (buf must hold n+LookAhead bytes) and returns, per byte position, the
+// instruction-start marks (the paper's Mark bit vector) and the length
+// computed at each start.
+func Decode(buf []byte, n int) (marks []bool, lens []int) {
+	marks = make([]bool, n)
+	lens = make([]int, n)
+	nsb := 0
+	for i := 0; i < n; i++ {
+		if i == nsb {
+			marks[i] = true
+			l := CalcLen(buf, i)
+			lens[i] = l
+			nsb += l
+		}
+	}
+	return marks, lens
+}
+
+// RandomBuffer returns a uniformly random byte buffer sized for an n-byte
+// decode window (n + LookAhead bytes). Every byte pattern is a valid
+// instruction stream: decoding is total.
+func RandomBuffer(rng *rand.Rand, n int) []byte {
+	buf := make([]byte, n+LookAhead)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	return buf
+}
+
+// RandomInstructions builds a buffer from whole random instructions, so
+// the expected mark positions are known by construction. It returns the
+// buffer and the start offsets of the instructions that begin inside the
+// n-byte window.
+func RandomInstructions(rng *rand.Rand, n int) (buf []byte, starts []int) {
+	buf = make([]byte, 0, n+LookAhead+MaxInstrLen)
+	for len(buf) < n+LookAhead {
+		starts = append(starts, len(buf))
+		buf = append(buf, encodeInstruction(rng)...)
+	}
+	buf = buf[:n+LookAhead]
+	var inWindow []int
+	for _, s := range starts {
+		if s < n {
+			inWindow = append(inWindow, s)
+		}
+	}
+	return buf, inWindow
+}
+
+// encodeInstruction emits one instruction with random contribution bits.
+func encodeInstruction(rng *rand.Rand) []byte {
+	nBytes := 1 + rng.Intn(4) // how many bytes the decoder will examine
+	out := make([]byte, nBytes)
+	for k := range out {
+		b := byte(rng.Intn(256))
+		// Bit 7 controls "need next byte": force the chain shape.
+		if k < nBytes-1 && k < 3 {
+			b |= 0x80
+		} else {
+			b &^= 0x80
+		}
+		out[k] = b
+	}
+	// The encoded instruction occupies CalcLen bytes, which may exceed
+	// nBytes; pad with don't-care bytes (never examined).
+	l := CalcLen(out, 0)
+	for len(out) < l {
+		out = append(out, byte(rng.Intn(256)))
+	}
+	return out
+}
+
+// SourceFig10 renders the behavioral description of paper Fig 10 for an
+// n-byte buffer: the guarded counted loop calling CalculateLength, which
+// itself calls the LengthContribution/Need leaf functions. (One mechanical
+// difference from the paper's listing: calls appear as statements rather
+// than inside conditions — `need2 = Need_2nd_Byte(i); if (need2)` — which
+// is the form the sparkgo frontend accepts; the structure is otherwise
+// identical.)
+func SourceFig10(n int) string {
+	if n < 1 {
+		panic("ild: n must be positive")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// ILD behavioral description (paper Fig 10), n = %d\n", n)
+	fmt.Fprintf(&b, "uint8 B[%d];\n", n+LookAhead)
+	fmt.Fprintf(&b, "uint1 Mark[%d];\n", n)
+	fmt.Fprintf(&b, "uint4 Len[%d];\n\n", n)
+	b.WriteString(leafFunctions())
+	b.WriteString(calculateLength())
+	fmt.Fprintf(&b, `void main() {
+  uint16 i;
+  uint16 NextStartByte;
+  uint4 l;
+  for (i = 0; i < %d; i++) {
+    Mark[i] = 0;
+    Len[i] = 0;
+  }
+  NextStartByte = 0;
+  for (i = 0; i < %d; i++) {
+    if (i == NextStartByte) {
+      Mark[i] = 1;
+      l = CalculateLength(i);
+      Len[i] = l;
+      NextStartByte = NextStartByte + l;
+    }
+  }
+}
+`, n, n)
+	return b.String()
+}
+
+// SourceNatural renders the "succinct and natural" description of paper
+// Fig 16: the data-dependent while loop over the next start byte, bounded
+// by the buffer size (the designer's #bound assertion that at most n
+// instructions fit in an n-byte window).
+func SourceNatural(n int) string {
+	if n < 1 {
+		panic("ild: n must be positive")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// ILD natural description (paper Fig 16), n = %d\n", n)
+	fmt.Fprintf(&b, "uint8 B[%d];\n", n+LookAhead)
+	fmt.Fprintf(&b, "uint1 Mark[%d];\n", n)
+	fmt.Fprintf(&b, "uint4 Len[%d];\n\n", n)
+	b.WriteString(leafFunctions())
+	b.WriteString(calculateLength())
+	fmt.Fprintf(&b, `void main() {
+  uint16 i;
+  uint16 NextStartByte;
+  uint4 l;
+  for (i = 0; i < %d; i++) {
+    Mark[i] = 0;
+    Len[i] = 0;
+  }
+  NextStartByte = 0;
+  #bound %d
+  while (NextStartByte <= %d) {
+    Mark[NextStartByte] = 1;
+    l = CalculateLength(NextStartByte);
+    Len[NextStartByte] = l;
+    NextStartByte = NextStartByte + l;
+  }
+}
+`, n, n, n-1)
+	return b.String()
+}
+
+// leafFunctions renders the LengthContribution / Need_*_Byte leaves over
+// the synthetic tables.
+func leafFunctions() string {
+	return `uint4 LengthContribution_1(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return 1 + ((b >> 6) & 1);
+}
+uint4 LengthContribution_2(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return 1 + ((b >> 6) & 1) + ((b >> 5) & 1);
+}
+uint4 LengthContribution_3(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return 1 + ((b >> 6) & 1) + ((b >> 5) & 1);
+}
+uint4 LengthContribution_4(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return 1 + ((b >> 6) & 1) + ((b >> 5) & 1);
+}
+bool Need_2nd_Byte(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return ((b >> 7) & 1) == 1;
+}
+bool Need_3rd_Byte(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return ((b >> 7) & 1) == 1;
+}
+bool Need_4th_Byte(uint16 i) {
+  uint8 b;
+  b = B[i];
+  return ((b >> 7) & 1) == 1;
+}
+`
+}
+
+// calculateLength renders the CalculateLength function exactly in the
+// paper's Fig 10 nested-if shape.
+func calculateLength() string {
+	return `uint4 CalculateLength(uint16 i) {
+  uint4 lc1;
+  uint4 lc2;
+  uint4 lc3;
+  uint4 lc4;
+  uint4 Length;
+  bool need2;
+  bool need3;
+  bool need4;
+  lc1 = LengthContribution_1(i);
+  need2 = Need_2nd_Byte(i);
+  if (need2) {
+    lc2 = LengthContribution_2(i + 1);
+    need3 = Need_3rd_Byte(i + 1);
+    if (need3) {
+      lc3 = LengthContribution_3(i + 2);
+      need4 = Need_4th_Byte(i + 2);
+      if (need4) {
+        lc4 = LengthContribution_4(i + 3);
+        Length = lc1 + lc2 + lc3 + lc4;
+      } else {
+        Length = lc1 + lc2 + lc3;
+      }
+    } else {
+      Length = lc1 + lc2;
+    }
+  } else {
+    Length = lc1;
+  }
+  return Length;
+}
+`
+}

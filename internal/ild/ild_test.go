@@ -1,0 +1,204 @@
+package ild_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/interp"
+	"sparkgo/internal/rtlsim"
+)
+
+func TestCalcLenRange(t *testing.T) {
+	f := func(b0, b1, b2, b3 byte) bool {
+		buf := []byte{b0, b1, b2, b3}
+		l := ild.CalcLen(buf, 0)
+		return l >= 1 && l <= ild.MaxInstrLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalcLenBoundaryCases(t *testing.T) {
+	// All zero bytes: no continuation, minimal contribution.
+	if l := ild.CalcLen([]byte{0, 0, 0, 0}, 0); l != 1 {
+		t.Errorf("all-zero instruction length = %d, want 1", l)
+	}
+	// Maximal: every byte demands the next and contributes its maximum.
+	if l := ild.CalcLen([]byte{0xC0 | 0x80, 0xE0 | 0x80, 0xE0 | 0x80, 0x60}, 0); l != ild.MaxInstrLen {
+		t.Errorf("maximal instruction length = %d, want %d", l, ild.MaxInstrLen)
+	}
+	// Reading past the buffer contributes zero bits: bytes read as 0.
+	if l := ild.CalcLen([]byte{0x80}, 0); l != 1+1 {
+		t.Errorf("truncated read = %d, want 2 (lc1=1 + lc2(0)=1)", l)
+	}
+}
+
+func TestDecodeMarksConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(48)
+		buf := ild.RandomBuffer(rng, n)
+		marks, lens := ild.Decode(buf, n)
+		// Invariants: first byte is always a start; marks advance by
+		// the recorded lengths; no mark inside an instruction.
+		if !marks[0] {
+			t.Fatal("byte 0 must start an instruction")
+		}
+		next := 0
+		for i := 0; i < n; i++ {
+			if i == next {
+				if !marks[i] {
+					t.Fatalf("expected mark at %d", i)
+				}
+				if lens[i] < 1 || lens[i] > ild.MaxInstrLen {
+					t.Fatalf("length out of range at %d: %d", i, lens[i])
+				}
+				if lens[i] != ild.CalcLen(buf, i) {
+					t.Fatalf("length mismatch at %d", i)
+				}
+				next += lens[i]
+			} else if marks[i] {
+				t.Fatalf("unexpected mark at %d", i)
+			}
+		}
+	}
+}
+
+func TestDecodeMatchesConstructedInstructions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(40)
+		buf, starts := ild.RandomInstructions(rng, n)
+		marks, _ := ild.Decode(buf, n)
+		want := make([]bool, n)
+		for _, s := range starts {
+			want[s] = true
+		}
+		for i := 0; i < n; i++ {
+			if marks[i] != want[i] {
+				t.Fatalf("trial %d: mark[%d] = %v, want %v", trial, i, marks[i], want[i])
+			}
+		}
+	}
+}
+
+// Fig 10 behavioral description interpreted == reference decoder (E7).
+func TestFig10ProgramMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		p := ild.Program(n)
+		for trial := 0; trial < 30; trial++ {
+			buf := ild.RandomBuffer(rng, n)
+			env := interp.NewEnv(p)
+			if err := ild.LoadBuffer(p, env, buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := interp.New(p).RunMain(env); err != nil {
+				t.Fatal(err)
+			}
+			wantMarks, wantLens := ild.Decode(buf, n)
+			gotMarks := ild.ReadMarks(p, env)
+			if i, ok := ild.MarksEqual(gotMarks, wantMarks); !ok {
+				t.Fatalf("n=%d trial=%d: mark mismatch at %d", n, trial, i)
+			}
+			gotLens := ild.ReadLens(p, env)
+			for i := range wantLens {
+				if wantMarks[i] && gotLens[i] != wantLens[i] {
+					t.Fatalf("n=%d: len[%d] = %d, want %d", n, i, gotLens[i], wantLens[i])
+				}
+			}
+		}
+	}
+}
+
+// Fig 16 natural form interpreted == reference decoder.
+func TestNaturalProgramMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 4, 8} {
+		p := ild.NaturalProgram(n)
+		for trial := 0; trial < 20; trial++ {
+			buf := ild.RandomBuffer(rng, n)
+			env := interp.NewEnv(p)
+			if err := ild.LoadBuffer(p, env, buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := interp.New(p).RunMain(env); err != nil {
+				t.Fatal(err)
+			}
+			wantMarks, _ := ild.Decode(buf, n)
+			gotMarks := ild.ReadMarks(p, env)
+			if i, ok := ild.MarksEqual(gotMarks, wantMarks); !ok {
+				t.Fatalf("n=%d trial=%d: mark mismatch at %d", n, trial, i)
+			}
+		}
+	}
+}
+
+// The full paper pipeline: Fig 10 → single-cycle RTL whose simulation
+// matches the reference decoder (E12, the headline result).
+func TestSingleCycleILD(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{4, 8, 16} {
+		p := ild.Program(n)
+		res, err := core.Synthesize(p, core.Options{Preset: core.MicroprocessorBlock})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Cycles != 1 {
+			t.Errorf("n=%d: %d cycles, want 1 (the paper's single-cycle architecture)", n, res.Cycles)
+		}
+		for trial := 0; trial < 25; trial++ {
+			buf := ild.RandomBuffer(rng, n)
+			sim := rtlsim.New(res.Module)
+			vals := make([]int64, n+ild.LookAhead)
+			for i, b := range buf {
+				vals[i] = int64(b)
+			}
+			if err := sim.SetArray("B", vals); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.Run(4); err != nil {
+				t.Fatal(err)
+			}
+			wantMarks, _ := ild.Decode(buf, n)
+			gotMarks, err := sim.Array("Mark")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantMarks {
+				want := int64(0)
+				if wantMarks[i] {
+					want = 1
+				}
+				if gotMarks[i] != want {
+					t.Fatalf("n=%d trial=%d: RTL Mark[%d]=%d, want %d",
+						n, trial, i, gotMarks[i], want)
+				}
+			}
+		}
+	}
+}
+
+// The natural (Fig 16) form must synthesize through the while→for
+// normalization to the same single-cycle architecture (E14).
+func TestNaturalFormSynthesizes(t *testing.T) {
+	n := 8
+	p := ild.NaturalProgram(n)
+	res, err := core.Synthesize(p, core.Options{
+		Preset:         core.MicroprocessorBlock,
+		NormalizeWhile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1 {
+		t.Errorf("natural form: %d cycles, want 1", res.Cycles)
+	}
+	if err := core.Verify(res, 25, 21); err != nil {
+		t.Fatal(err)
+	}
+}

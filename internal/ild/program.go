@@ -1,0 +1,69 @@
+package ild
+
+import (
+	"fmt"
+
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+)
+
+// Program parses the Fig 10 behavioral description for an n-byte buffer.
+func Program(n int) *ir.Program {
+	return parser.MustParse(fmt.Sprintf("ild%d", n), SourceFig10(n))
+}
+
+// NaturalProgram parses the Fig 16 natural description.
+func NaturalProgram(n int) *ir.Program {
+	return parser.MustParse(fmt.Sprintf("ild%d_natural", n), SourceNatural(n))
+}
+
+// LoadBuffer drives an interpreter environment's B array from a byte
+// buffer (which must hold n+LookAhead bytes).
+func LoadBuffer(p *ir.Program, env *interp.Env, buf []byte) error {
+	bArr := p.Global("B")
+	if bArr == nil {
+		return fmt.Errorf("ild: program has no B array")
+	}
+	vals := make([]int64, bArr.Type.Len)
+	for i := range vals {
+		if i < len(buf) {
+			vals[i] = int64(buf[i])
+		}
+	}
+	env.SetArray(bArr, vals)
+	return nil
+}
+
+// ReadMarks extracts the Mark bit vector from an environment.
+func ReadMarks(p *ir.Program, env *interp.Env) []bool {
+	arr := env.Array(p.Global("Mark"))
+	out := make([]bool, len(arr))
+	for i, v := range arr {
+		out[i] = v != 0
+	}
+	return out
+}
+
+// ReadLens extracts the per-start length vector from an environment.
+func ReadLens(p *ir.Program, env *interp.Env) []int {
+	arr := env.Array(p.Global("Len"))
+	out := make([]int, len(arr))
+	for i, v := range arr {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// MarksEqual compares a mark vector with the reference decoder's.
+func MarksEqual(got []bool, want []bool) (int, bool) {
+	if len(got) != len(want) {
+		return -1, false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}

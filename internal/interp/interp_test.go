@@ -1,0 +1,306 @@
+package interp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+)
+
+func run(t *testing.T, src string, setup func(*ir.Program, *interp.Env)) (*ir.Program, *interp.Env, int64) {
+	t.Helper()
+	p, err := parser.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := interp.NewEnv(p)
+	if setup != nil {
+		setup(p, env)
+	}
+	ret, err := interp.New(p).RunMain(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, env, ret
+}
+
+func TestArithmeticWraps(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 g;
+void main() {
+  uint8 x;
+  x = 200;
+  g = x + 100;
+}
+`, nil)
+	if got := env.Scalar(p.Global("g")); got != 44 {
+		t.Errorf("200+100 mod 256 = %d, want 44", got)
+	}
+}
+
+func TestSignedWrap(t *testing.T) {
+	p, env, _ := run(t, `
+int8 g;
+void main() {
+  int8 x;
+  x = 127;
+  g = x + 1;
+}
+`, nil)
+	if got := env.Scalar(p.Global("g")); got != -128 {
+		t.Errorf("127+1 as int8 = %d, want -128", got)
+	}
+}
+
+func TestDivisionByZeroYieldsZero(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 g;
+uint8 d;
+void main() {
+  g = 7 / d;
+}
+`, nil)
+	if got := env.Scalar(p.Global("g")); got != 0 {
+		t.Errorf("7/0 = %d, want 0 (hardware convention)", got)
+	}
+}
+
+func TestOutOfRangeArrayAccess(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 a[4];
+uint8 g;
+uint8 idx;
+void main() {
+  idx = 200;
+  a[idx] = 9;
+  g = a[idx] + 1;
+}
+`, nil)
+	// Store dropped, load yields zero.
+	if got := env.Scalar(p.Global("g")); got != 1 {
+		t.Errorf("OOB read+1 = %d, want 1", got)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// g = (d != 0 && 10/d > 2): must not fault when d == 0 and, per our
+	// semantics, 10/0 = 0 anyway; the test pins the result.
+	p, env, _ := run(t, `
+bool g;
+uint8 d;
+void main() {
+  g = d != 0 && 10 / d > 2;
+}
+`, nil)
+	if got := env.Scalar(p.Global("g")); got != 0 {
+		t.Errorf("short-circuit and = %d, want 0", got)
+	}
+}
+
+func TestUnsignedComparisonFullWidth(t *testing.T) {
+	p, env, _ := run(t, `
+bool g;
+uint64 a;
+uint64 b;
+void main() {
+  g = a > b;
+}
+`, func(p *ir.Program, env *interp.Env) {
+		// a = 2^63 (negative as int64), b = 1: unsigned a > b.
+		env.SetScalar(p.Global("a"), -9223372036854775808)
+		env.SetScalar(p.Global("b"), 1)
+	})
+	if got := env.Scalar(p.Global("g")); got != 1 {
+		t.Errorf("2^63 > 1 unsigned = %d, want 1", got)
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	p, env, _ := run(t, `
+bool g;
+int8 a;
+int8 b;
+void main() {
+  g = a < b;
+}
+`, func(p *ir.Program, env *interp.Env) {
+		env.SetScalar(p.Global("a"), -5)
+		env.SetScalar(p.Global("b"), 3)
+	})
+	if got := env.Scalar(p.Global("g")); got != 1 {
+		t.Errorf("-5 < 3 signed = %d, want 1", got)
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 a;
+int8 b;
+uint8 c;
+void main() {
+  uint8 x;
+  int8 y;
+  x = 0x80;
+  a = x >> 3;
+  y = -128;
+  b = y >> 3;
+  c = x << 200;
+}
+`, nil)
+	if got := env.Scalar(p.Global("a")); got != 0x10 {
+		t.Errorf("0x80 >> 3 logical = %#x, want 0x10", got)
+	}
+	if got := env.Scalar(p.Global("b")); got != -16 {
+		t.Errorf("-128 >> 3 arithmetic = %d, want -16", got)
+	}
+	if got := env.Scalar(p.Global("c")); got != 0 {
+		t.Errorf("oversized shift = %d, want 0", got)
+	}
+}
+
+func TestFunctionCallsAndGlobals(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 counter;
+void bump() {
+  counter += 1;
+}
+void main() {
+  bump();
+  bump();
+  bump();
+}
+`, nil)
+	if got := env.Scalar(p.Global("counter")); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+}
+
+func TestReturnValue(t *testing.T) {
+	_, _, ret := run(t, `
+uint8 main() {
+  return 42;
+}
+`, nil)
+	if ret != 42 {
+		t.Errorf("main returned %d, want 42", ret)
+	}
+}
+
+func TestEarlyReturn(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 g;
+uint8 f(uint8 x) {
+  if (x > 10) {
+    return 1;
+  }
+  return 0;
+}
+void main() {
+  g = f(20);
+}
+`, nil)
+	if got := env.Scalar(p.Global("g")); got != 1 {
+		t.Errorf("g = %d, want 1", got)
+	}
+}
+
+func TestLocalsZeroInitialized(t *testing.T) {
+	p, env, _ := run(t, `
+uint8 g;
+void main() {
+  uint8 never_assigned;
+  g = never_assigned + 5;
+}
+`, nil)
+	if got := env.Scalar(p.Global("g")); got != 5 {
+		t.Errorf("locals not zero-initialized: g = %d, want 5", got)
+	}
+}
+
+func TestStepLimitStopsInfiniteLoop(t *testing.T) {
+	p, err := parser.Parse("inf", `
+void main() {
+  uint8 x;
+  while (true) {
+    x = x + 1;
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.New(p)
+	in.MaxSteps = 1000
+	if _, err := in.RunMain(interp.NewEnv(p)); err == nil {
+		t.Error("expected step-limit error")
+	}
+}
+
+// Property: EvalBinOp result is always canonical for its type.
+func TestEvalBinOpCanonical(t *testing.T) {
+	types := []*ir.Type{ir.UInt(1), ir.UInt(4), ir.UInt(8), ir.Int(8), ir.Int(16), ir.UInt(32)}
+	ops := []ir.BinOp{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr}
+	rng := rand.New(rand.NewSource(1))
+	f := func(l, r int64, opIdx, tyIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		ty := types[int(tyIdx)%len(types)]
+		l, r = ty.Canon(l), ty.Canon(r)
+		v, err := interp.EvalBinOp(op, l, r, ty, !ty.Signed)
+		if err != nil {
+			return false
+		}
+		return ty.Canon(v) == v
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interpretation is deterministic (same env twice, same result).
+func TestInterpreterDeterministic(t *testing.T) {
+	p, err := parser.Parse("d", `
+uint8 b[8];
+uint8 out;
+void main() {
+  uint8 i;
+  uint8 acc;
+  acc = 0;
+  for (i = 0; i < 8; i++) {
+    if (b[i] > 128) {
+      acc = acc * 3 + b[i];
+    } else {
+      acc = acc + b[i];
+    }
+  }
+  out = acc;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]int64, 8)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(256))
+		}
+		run1 := interp.NewEnv(p)
+		run1.SetArray(p.Global("b"), vals)
+		run2 := interp.NewEnv(p)
+		run2.SetArray(p.Global("b"), vals)
+		if _, err := interp.New(p).RunMain(run1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := interp.New(p).RunMain(run2); err != nil {
+			t.Fatal(err)
+		}
+		if run1.Scalar(p.Global("out")) != run2.Scalar(p.Global("out")) {
+			t.Fatal("non-deterministic interpretation")
+		}
+	}
+}

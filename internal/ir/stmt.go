@@ -1,0 +1,97 @@
+package ir
+
+// Stmt is an IR statement.
+type Stmt interface {
+	isStmt()
+}
+
+// AssignStmt stores the value of RHS into LHS. The RHS may be a CallExpr
+// only at this top level (sema enforces), so "x = f(a, b);" is
+// representable but "x = f(a) + 1;" is not until the inliner runs.
+type AssignStmt struct {
+	LHS LValue
+	RHS Expr
+}
+
+func (*AssignStmt) isStmt() {}
+
+// IfStmt is a two-way conditional. Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+func (*IfStmt) isStmt() {}
+
+// ForStmt is a counted loop: for (Init; Cond; Post) Body.
+// Init and Post are assignments (or nil). Label optionally names the loop
+// so synthesis scripts can reference it ("unroll main.0 full").
+type ForStmt struct {
+	Init  *AssignStmt // may be nil
+	Cond  Expr
+	Post  *AssignStmt // may be nil
+	Body  *Block
+	Label string
+}
+
+func (*ForStmt) isStmt() {}
+
+// WhileStmt is a condition-controlled loop. Bound, when positive, is a
+// designer-asserted maximum iteration count that enables full unrolling of
+// data-dependent loops (the Fig 16 "natural description" needs this:
+// the ILD while-loop iterates at most n times for an n-byte buffer).
+type WhileStmt struct {
+	Cond  Expr
+	Body  *Block
+	Label string
+	Bound int
+}
+
+func (*WhileStmt) isStmt() {}
+
+// ReturnStmt exits the enclosing function, yielding Val (nil for void).
+type ReturnStmt struct {
+	Val Expr // may be nil
+}
+
+func (*ReturnStmt) isStmt() {}
+
+// ExprStmt evaluates a void call for its effects.
+type ExprStmt struct {
+	Call *CallExpr
+}
+
+func (*ExprStmt) isStmt() {}
+
+// Block is a statement sequence.
+type Block struct {
+	Stmts []Stmt
+}
+
+func (*Block) isStmt() {}
+
+// Add appends statements to the block and returns it (for chaining).
+func (b *Block) Add(stmts ...Stmt) *Block {
+	b.Stmts = append(b.Stmts, stmts...)
+	return b
+}
+
+// Assign builds an assignment statement.
+func Assign(lhs LValue, rhs Expr) *AssignStmt {
+	return &AssignStmt{LHS: lhs, RHS: Cast(rhs, lhs.Type())}
+}
+
+// AssignRaw builds an assignment without inserting a width-adjusting cast.
+// Used by passes that have already established type agreement.
+func AssignRaw(lhs LValue, rhs Expr) *AssignStmt {
+	return &AssignStmt{LHS: lhs, RHS: rhs}
+}
+
+// If builds a conditional statement.
+func If(cond Expr, then, els *Block) *IfStmt {
+	return &IfStmt{Cond: cond, Then: then, Else: els}
+}
+
+// NewBlock builds a block from statements.
+func NewBlock(stmts ...Stmt) *Block { return &Block{Stmts: stmts} }

@@ -1,0 +1,51 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"sparkgo/internal/report"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := report.New("demo", "name", "value")
+	tb.Add("x", 1)
+	tb.Add("longer-name", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// All data lines align: the value column starts at the same offset.
+	h := strings.Index(lines[1], "value")
+	r := strings.Index(lines[3], "1")
+	if h != r {
+		t.Errorf("columns misaligned: header@%d row@%d\n%s", h, r, out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := report.New("", "v")
+	tb.Add(3.14159)
+	if !strings.Contains(tb.String(), "3.1") {
+		t.Errorf("float not formatted: %s", tb.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := report.New("t", "a", "b")
+	tb.Add(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Errorf("comma not escaped: %s", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("quote not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("missing header: %s", csv)
+	}
+}

@@ -1,0 +1,319 @@
+// Package rtl models the synthesized register-transfer-level design as a
+// signal netlist: combinational gates (operators, multiplexers, array-read
+// networks), registers, and a finite-state controller. The netlist is
+// built from a schedule (package sched); it can be executed cycle-accurately
+// (package rtlsim), measured (critical path and area under the delay
+// model), and emitted as VHDL — the paper's output format — or Verilog.
+package rtl
+
+import (
+	"fmt"
+
+	"sparkgo/internal/delay"
+	"sparkgo/internal/ir"
+)
+
+// SigKind classifies signals.
+type SigKind int
+
+const (
+	// SigInput is an architectural input (a global the design only
+	// reads): combinationally available, externally driven.
+	SigInput SigKind = iota
+	// SigReg is a register output.
+	SigReg
+	// SigWire is a combinational gate output.
+	SigWire
+	// SigConst is a constant driver.
+	SigConst
+)
+
+func (k SigKind) String() string {
+	switch k {
+	case SigInput:
+		return "input"
+	case SigReg:
+		return "reg"
+	case SigWire:
+		return "wire"
+	case SigConst:
+		return "const"
+	}
+	return "?"
+}
+
+// Signal is one named net.
+type Signal struct {
+	ID   int
+	Name string
+	Type *ir.Type
+	Kind SigKind
+	// Const holds the value for SigConst.
+	Const int64
+	// Init is the reset value for SigReg (locals reset to 0; globals
+	// are loaded externally before start).
+	Init int64
+}
+
+func (s *Signal) String() string { return s.Name }
+
+// GateKind classifies combinational gates.
+type GateKind int
+
+const (
+	// GateBin: Out = In[0] <Bin> In[1].
+	GateBin GateKind = iota
+	// GateUn: Out = <Un> In[0].
+	GateUn
+	// GateMux: Out = In[0] ? In[1] : In[2].
+	GateMux
+	// GateCopy: Out = In[0] (width conversion; pure wiring).
+	GateCopy
+	// GateArrayRead: Out = elements[In[0]]; In[1..] are the elements.
+	GateArrayRead
+)
+
+// Gate is one combinational node. Gates appear in the module in
+// topological order (inputs constructed before outputs), so a single
+// forward sweep evaluates the netlist.
+type Gate struct {
+	Out         *Signal
+	Kind        GateKind
+	Bin         ir.BinOp
+	Un          ir.UnOp
+	UnsignedOps bool
+	In          []*Signal
+}
+
+// RegWrite commits Value into Reg at the end of every cycle spent in
+// State. Conditional commits are already encoded in Value's mux network.
+type RegWrite struct {
+	Reg   *Signal
+	State int
+	Value *Signal
+}
+
+// Transition is an FSM edge evaluated at the end of each cycle in state
+// From: taken when Cond is nil or Cond's value equals CondValue. Edges are
+// tried in order; To == -1 means the design is done.
+type Transition struct {
+	From      int
+	Cond      *Signal
+	CondValue bool
+	To        int
+}
+
+// Module is a complete RTL design.
+type Module struct {
+	Name      string
+	Signals   []*Signal
+	Gates     []*Gate
+	RegWrites []RegWrite
+	Trans     []Transition
+	NumStates int
+
+	// Architectural interface: globals by name.
+	ScalarPort map[string]*Signal
+	ArrayPort  map[string][]*Signal
+	// RetSignal is the register holding main's return value (nil for
+	// void designs).
+	RetSignal *Signal
+
+	nextID int
+	consts map[string]*Signal
+	memo   map[string]*Signal
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:       name,
+		ScalarPort: map[string]*Signal{},
+		ArrayPort:  map[string][]*Signal{},
+		consts:     map[string]*Signal{},
+		memo:       map[string]*Signal{},
+	}
+}
+
+func (m *Module) newSignal(name string, t *ir.Type, kind SigKind) *Signal {
+	s := &Signal{ID: m.nextID, Name: name, Type: t, Kind: kind}
+	m.nextID++
+	m.Signals = append(m.Signals, s)
+	return s
+}
+
+// ConstSignal returns (deduplicated) a constant driver.
+func (m *Module) ConstSignal(val int64, t *ir.Type) *Signal {
+	val = t.Canon(val)
+	key := fmt.Sprintf("%d|%s", val, t)
+	if s, ok := m.consts[key]; ok {
+		return s
+	}
+	s := m.newSignal(fmt.Sprintf("const_%d_%s", m.nextID, t), t, SigConst)
+	s.Const = val
+	m.consts[key] = s
+	return s
+}
+
+// Input declares an architectural input signal.
+func (m *Module) Input(name string, t *ir.Type) *Signal {
+	return m.newSignal(name, t, SigInput)
+}
+
+// Reg declares a register with the given reset value.
+func (m *Module) Reg(name string, t *ir.Type, init int64) *Signal {
+	s := m.newSignal(name, t, SigReg)
+	s.Init = t.Canon(init)
+	return s
+}
+
+// gate adds a combinational gate with memoization: structurally identical
+// gates share one output signal, which keeps the conditional-commit mux
+// networks from exploding (the same guard conjunction is reused by every
+// op in a basic block).
+func (m *Module) gate(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
+	t *ir.Type, name string, in ...*Signal) *Signal {
+	key := fmt.Sprintf("%d|%d|%d|%v|%s", kind, bin, un, unsignedOps, t)
+	for _, s := range in {
+		key += fmt.Sprintf("|%d", s.ID)
+	}
+	if s, ok := m.memo[key]; ok {
+		return s
+	}
+	out := m.newSignal(fmt.Sprintf("%s_%d", name, m.nextID), t, SigWire)
+	m.Gates = append(m.Gates, &Gate{Out: out, Kind: kind, Bin: bin, Un: un,
+		UnsignedOps: unsignedOps, In: in})
+	m.memo[key] = out
+	return out
+}
+
+// Bin adds a binary-operator gate.
+func (m *Module) Bin(op ir.BinOp, t *ir.Type, unsignedOps bool, a, b *Signal) *Signal {
+	return m.gate(GateBin, op, 0, unsignedOps, t, "b"+opName(op), a, b)
+}
+
+// Un adds a unary-operator gate.
+func (m *Module) Un(op ir.UnOp, t *ir.Type, x *Signal) *Signal {
+	return m.gate(GateUn, 0, op, false, t, "u", x)
+}
+
+// Mux adds a 2:1 multiplexer.
+func (m *Module) Mux(t *ir.Type, sel, a, b *Signal) *Signal {
+	if a == b {
+		return a
+	}
+	return m.gate(GateMux, 0, 0, false, t, "mux", sel, a, b)
+}
+
+// Copy adds a width-converting copy (free wiring).
+func (m *Module) Copy(t *ir.Type, x *Signal) *Signal {
+	if x.Type.Equal(t) {
+		return x
+	}
+	return m.gate(GateCopy, 0, 0, false, t, "cast", x)
+}
+
+// ArrayRead adds an element-select network.
+func (m *Module) ArrayRead(t *ir.Type, index *Signal, elems []*Signal) *Signal {
+	in := append([]*Signal{index}, elems...)
+	return m.gate(GateArrayRead, 0, 0, false, t, "aread", in...)
+}
+
+// And builds a boolean conjunction (for guard networks).
+func (m *Module) And(a, b *Signal) *Signal {
+	return m.Bin(ir.OpLAnd, ir.Bool, true, a, b)
+}
+
+// Not builds a boolean negation.
+func (m *Module) Not(a *Signal) *Signal {
+	return m.Un(ir.OpLNot, ir.Bool, a)
+}
+
+func opName(op ir.BinOp) string {
+	names := map[ir.BinOp]string{
+		ir.OpAdd: "add", ir.OpSub: "sub", ir.OpMul: "mul", ir.OpDiv: "div",
+		ir.OpRem: "rem", ir.OpAnd: "and", ir.OpOr: "or", ir.OpXor: "xor",
+		ir.OpShl: "shl", ir.OpShr: "shr", ir.OpEq: "eq", ir.OpNe: "ne",
+		ir.OpLt: "lt", ir.OpLe: "le", ir.OpGt: "gt", ir.OpGe: "ge",
+		ir.OpLAnd: "land", ir.OpLOr: "lor",
+	}
+	return names[op]
+}
+
+// Stats summarizes the module under a delay model.
+func (m *Module) Stats(dm *delay.Model) delay.Report {
+	depth := map[*Signal]float64{}
+	for _, g := range m.Gates {
+		in := 0.0
+		for _, s := range g.In {
+			if d := depth[s]; d > in {
+				in = d
+			}
+		}
+		depth[g.Out] = in + m.gateDelay(dm, g)
+	}
+	crit := 0.0
+	consider := func(s *Signal) {
+		if s == nil {
+			return
+		}
+		if d := depth[s]; d > crit {
+			crit = d
+		}
+	}
+	for _, rw := range m.RegWrites {
+		consider(rw.Value)
+	}
+	for _, tr := range m.Trans {
+		consider(tr.Cond)
+	}
+	rep := delay.Report{CriticalPath: crit + dm.RegisterSetup()}
+	for _, g := range m.Gates {
+		rep.Area += m.gateArea(dm, g)
+		switch g.Kind {
+		case GateMux, GateArrayRead:
+			rep.Muxes++
+		case GateBin, GateUn:
+			rep.FUs++
+		}
+	}
+	for _, s := range m.Signals {
+		if s.Kind == SigReg {
+			rep.Registers++
+			rep.Area += dm.RegArea(s.Type.Width())
+		}
+	}
+	return rep
+}
+
+func (m *Module) gateDelay(dm *delay.Model, g *Gate) float64 {
+	switch g.Kind {
+	case GateBin:
+		return dm.BinOpDelay(g.Bin, g.Out.Type)
+	case GateUn:
+		return dm.UnOpDelay(g.Un, g.Out.Type)
+	case GateMux:
+		return dm.MuxDelay(2)
+	case GateCopy:
+		return dm.CastDelay()
+	case GateArrayRead:
+		return dm.ArrayReadDelay(len(g.In) - 1)
+	}
+	return 0
+}
+
+func (m *Module) gateArea(dm *delay.Model, g *Gate) float64 {
+	switch g.Kind {
+	case GateBin:
+		return dm.BinOpArea(g.Bin, g.Out.Type)
+	case GateUn:
+		return dm.UnOpArea(g.Un, g.Out.Type)
+	case GateMux:
+		return dm.MuxArea(2, g.Out.Type.Width())
+	case GateCopy:
+		return 0
+	case GateArrayRead:
+		return dm.MuxArea(len(g.In)-1, g.Out.Type.Width())
+	}
+	return 0
+}

@@ -1,0 +1,197 @@
+package rtl_test
+
+import (
+	"strings"
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/delay"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+	"sparkgo/internal/rtl"
+)
+
+func synth(t *testing.T, src string, opt core.Options) *core.Result {
+	t.Helper()
+	p := parser.MustParse("design", src)
+	res, err := core.Synthesize(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const condSrc = `
+uint8 a;
+uint8 b;
+uint8 out;
+void main() {
+  if (a > b) {
+    out = a - b;
+  } else {
+    out = b - a;
+  }
+}
+`
+
+func TestBuildProducesTopologicalGates(t *testing.T) {
+	res := synth(t, condSrc, core.Options{})
+	defined := map[*rtl.Signal]bool{}
+	for _, s := range res.Module.Signals {
+		if s.Kind != rtl.SigWire {
+			defined[s] = true
+		}
+	}
+	for _, g := range res.Module.Gates {
+		for _, in := range g.In {
+			if !defined[in] {
+				t.Fatalf("gate %s reads undefined signal %s", g.Out.Name, in.Name)
+			}
+		}
+		defined[g.Out] = true
+	}
+}
+
+func TestBuildPortMapping(t *testing.T) {
+	res := synth(t, condSrc, core.Options{})
+	m := res.Module
+	// a, b are read-only: inputs. out is written: a register port.
+	for _, name := range []string{"a", "b"} {
+		s, ok := m.ScalarPort[name]
+		if !ok || s.Kind != rtl.SigInput {
+			t.Errorf("%s should be an input port, got %v", name, s)
+		}
+	}
+	s, ok := m.ScalarPort["out"]
+	if !ok || s.Kind != rtl.SigReg {
+		t.Errorf("out should be a register port, got %v", s)
+	}
+}
+
+func TestStatsReasonable(t *testing.T) {
+	res := synth(t, condSrc, core.Options{})
+	st := res.Module.Stats(delay.Default())
+	if st.CriticalPath <= 0 {
+		t.Error("critical path must be positive")
+	}
+	if st.Area <= 0 {
+		t.Error("area must be positive")
+	}
+	if st.Muxes < 1 {
+		t.Error("conditional design needs at least one mux")
+	}
+	if st.Registers < 1 {
+		t.Error("output register missing")
+	}
+}
+
+func TestVHDLStructure(t *testing.T) {
+	res := synth(t, condSrc, core.Options{})
+	v := rtl.EmitVHDL(res.Module)
+	for _, want := range []string{
+		"library ieee;",
+		"use ieee.numeric_std.all;",
+		"entity design is",
+		"clk   : in  std_logic;",
+		"start : in  std_logic;",
+		"done  : out std_logic",
+		"a : in  unsigned(7 downto 0)",
+		"out_out : out unsigned(7 downto 0)",
+		"architecture rtl of design is",
+		"process(clk)",
+		"rising_edge(clk)",
+		"end rtl;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("VHDL missing %q", want)
+		}
+	}
+	// Balanced structural keywords.
+	if strings.Count(v, "case state is") != 1 {
+		t.Error("expected exactly one FSM case statement")
+	}
+	if strings.Count(v, "end case;") != 1 {
+		t.Error("unbalanced case/end case")
+	}
+}
+
+func TestVerilogStructure(t *testing.T) {
+	res := synth(t, condSrc, core.Options{})
+	v := rtl.EmitVerilog(res.Module)
+	for _, want := range []string{
+		"module design(",
+		"input wire clk,",
+		"input wire [7:0] a",
+		"output wire [7:0] out_out",
+		"always @(posedge clk)",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q", want)
+		}
+	}
+	if strings.Count(v, "module ") != 1 {
+		t.Error("expected exactly one module")
+	}
+	// Every wire declared must be assigned exactly once.
+	for _, line := range strings.Split(v, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "wire ") && strings.Contains(line, "]") {
+			name := line[strings.LastIndex(line, " ")+1:]
+			name = strings.TrimSuffix(name, ";")
+			if strings.Count(v, "assign "+name+" =") != 1 {
+				t.Errorf("wire %s not assigned exactly once", name)
+			}
+		}
+	}
+}
+
+func TestEmittersDeterministic(t *testing.T) {
+	res := synth(t, condSrc, core.Options{})
+	v1 := rtl.EmitVHDL(res.Module)
+	v2 := rtl.EmitVHDL(res.Module)
+	if v1 != v2 {
+		t.Error("VHDL emission not deterministic")
+	}
+	g1 := rtl.EmitVerilog(res.Module)
+	g2 := rtl.EmitVerilog(res.Module)
+	if g1 != g2 {
+		t.Error("Verilog emission not deterministic")
+	}
+}
+
+func TestGateMemoizationDeduplicates(t *testing.T) {
+	m := rtl.NewModule("memo")
+	a := m.Input("a", ir.U8)
+	b := m.Input("b", ir.U8)
+	s1 := m.Bin(ir.OpAdd, ir.U8, true, a, b)
+	s2 := m.Bin(ir.OpAdd, ir.U8, true, a, b)
+	if s1 != s2 {
+		t.Error("identical gates should share one output signal")
+	}
+	if len(m.Gates) != 1 {
+		t.Errorf("gates = %d, want 1", len(m.Gates))
+	}
+}
+
+func TestMuxCollapseOnEqualInputs(t *testing.T) {
+	m := rtl.NewModule("mux")
+	sel := m.Input("sel", ir.Bool)
+	a := m.Input("a", ir.U8)
+	if got := m.Mux(ir.U8, sel, a, a); got != a {
+		t.Error("mux with equal inputs must collapse")
+	}
+}
+
+func TestConstSignalDeduplicates(t *testing.T) {
+	m := rtl.NewModule("c")
+	c1 := m.ConstSignal(5, ir.U8)
+	c2 := m.ConstSignal(5, ir.U8)
+	if c1 != c2 {
+		t.Error("identical constants should share one signal")
+	}
+	c3 := m.ConstSignal(5, ir.U4)
+	if c1 == c3 {
+		t.Error("constants of different widths must not share")
+	}
+}

@@ -1,0 +1,267 @@
+// Package rtlsim executes rtl modules cycle-accurately: each cycle it
+// evaluates the combinational gate network in topological order, commits
+// the current state's register writes on the clock edge, and advances the
+// FSM. Values are canonicalized exactly as in package interp, so a correct
+// synthesis flow makes RTL simulation agree bit-for-bit with behavioral
+// interpretation — the equivalence the test suite enforces on every
+// workload.
+package rtlsim
+
+import (
+	"fmt"
+
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
+)
+
+// Sim is one simulation instance.
+type Sim struct {
+	M *rtl.Module
+
+	vals  map[*rtl.Signal]int64 // register and input values (persistent)
+	state int
+	done  bool
+	cycle int
+}
+
+// New creates a simulator with registers at their reset values.
+func New(m *rtl.Module) *Sim {
+	s := &Sim{M: m, vals: map[*rtl.Signal]int64{}}
+	s.Reset()
+	return s
+}
+
+// Reset returns registers to reset values, the FSM to state 0, and clears
+// done. Inputs keep their values.
+func (s *Sim) Reset() {
+	for _, sig := range s.M.Signals {
+		if sig.Kind == rtl.SigReg {
+			s.vals[sig] = sig.Init
+		}
+	}
+	s.state = 0
+	s.done = false
+	s.cycle = 0
+}
+
+// SetScalar drives a scalar architectural port (input or state register).
+func (s *Sim) SetScalar(name string, v int64) error {
+	sig, ok := s.M.ScalarPort[name]
+	if !ok {
+		return fmt.Errorf("rtlsim: no scalar port %q", name)
+	}
+	s.vals[sig] = sig.Type.Canon(v)
+	return nil
+}
+
+// SetArray drives an array port element-wise.
+func (s *Sim) SetArray(name string, vals []int64) error {
+	elems, ok := s.M.ArrayPort[name]
+	if !ok {
+		return fmt.Errorf("rtlsim: no array port %q", name)
+	}
+	for i, sig := range elems {
+		var v int64
+		if i < len(vals) {
+			v = vals[i]
+		}
+		s.vals[sig] = sig.Type.Canon(v)
+	}
+	return nil
+}
+
+// Scalar reads a scalar port's current value.
+func (s *Sim) Scalar(name string) (int64, error) {
+	sig, ok := s.M.ScalarPort[name]
+	if !ok {
+		return 0, fmt.Errorf("rtlsim: no scalar port %q", name)
+	}
+	return s.vals[sig], nil
+}
+
+// Array reads an array port's current contents.
+func (s *Sim) Array(name string) ([]int64, error) {
+	elems, ok := s.M.ArrayPort[name]
+	if !ok {
+		return nil, fmt.Errorf("rtlsim: no array port %q", name)
+	}
+	out := make([]int64, len(elems))
+	for i, sig := range elems {
+		out[i] = s.vals[sig]
+	}
+	return out, nil
+}
+
+// Ret reads the design's return-value register (0 if the design is void).
+func (s *Sim) Ret() int64 {
+	if s.M.RetSignal == nil {
+		return 0
+	}
+	return s.vals[s.M.RetSignal]
+}
+
+// Done reports whether the FSM has finished.
+func (s *Sim) Done() bool { return s.done }
+
+// Cycles returns the number of clock cycles executed since reset.
+func (s *Sim) Cycles() int { return s.cycle }
+
+// State returns the current FSM state.
+func (s *Sim) State() int { return s.state }
+
+// Step executes one clock cycle: combinational evaluation, register
+// commit, FSM transition. Calling Step after done is a no-op.
+func (s *Sim) Step() error {
+	if s.done {
+		return nil
+	}
+	if s.M.NumStates == 0 {
+		s.done = true
+		return nil
+	}
+	// 1. Combinational evaluation (module gates are topological).
+	net := make(map[*rtl.Signal]int64, len(s.M.Signals))
+	read := func(sig *rtl.Signal) int64 {
+		switch sig.Kind {
+		case rtl.SigConst:
+			return sig.Const
+		case rtl.SigReg, rtl.SigInput:
+			return s.vals[sig]
+		default:
+			return net[sig]
+		}
+	}
+	for _, g := range s.M.Gates {
+		var v int64
+		switch g.Kind {
+		case rtl.GateBin:
+			a, b := read(g.In[0]), read(g.In[1])
+			out, err := interp.EvalBinOp(g.Bin, a, b, g.Out.Type, g.UnsignedOps)
+			if err != nil {
+				return fmt.Errorf("rtlsim: gate %s: %w", g.Out.Name, err)
+			}
+			v = out
+		case rtl.GateUn:
+			v = interp.EvalUnOp(g.Un, read(g.In[0]), g.Out.Type)
+		case rtl.GateMux:
+			if read(g.In[0]) != 0 {
+				v = g.Out.Type.Canon(read(g.In[1]))
+			} else {
+				v = g.Out.Type.Canon(read(g.In[2]))
+			}
+		case rtl.GateCopy:
+			v = g.Out.Type.Canon(read(g.In[0]))
+		case rtl.GateArrayRead:
+			idx := read(g.In[0])
+			if idx >= 0 && idx < int64(len(g.In)-1) {
+				v = g.Out.Type.Canon(read(g.In[1+int(idx)]))
+			} else {
+				v = 0
+			}
+		}
+		net[g.Out] = v
+	}
+	// 2. FSM transition decision (using pre-clock values).
+	next := -2
+	for _, tr := range s.M.Trans {
+		if tr.From != s.state {
+			continue
+		}
+		if tr.Cond == nil {
+			next = tr.To
+			break
+		}
+		cv := read(tr.Cond) != 0
+		if cv == tr.CondValue {
+			next = tr.To
+			break
+		}
+	}
+	// 3. Register commit for the current state — two-phase, like real
+	// flip-flops: every write value is sampled from pre-clock state
+	// before any register updates (a write's Value may itself be a
+	// register signal when a copy gate collapsed to its source).
+	type commit struct {
+		reg *rtl.Signal
+		val int64
+	}
+	var commits []commit
+	for _, rw := range s.M.RegWrites {
+		if rw.State == s.state {
+			commits = append(commits, commit{rw.Reg, rw.Reg.Type.Canon(read(rw.Value))})
+		}
+	}
+	for _, c := range commits {
+		s.vals[c.reg] = c.val
+	}
+	s.cycle++
+	switch next {
+	case -1:
+		s.done = true
+	case -2:
+		return fmt.Errorf("rtlsim: state %d has no matching transition", s.state)
+	default:
+		s.state = next
+	}
+	return nil
+}
+
+// Run steps until done or maxCycles, returning the cycle count.
+func (s *Sim) Run(maxCycles int) (int, error) {
+	for !s.done {
+		if s.cycle >= maxCycles {
+			return s.cycle, fmt.Errorf("rtlsim: exceeded %d cycles (state %d)", maxCycles, s.state)
+		}
+		if err := s.Step(); err != nil {
+			return s.cycle, err
+		}
+	}
+	return s.cycle, nil
+}
+
+// LoadEnv drives every architectural port from an interpreter environment
+// (matching globals by name), so behavioral and RTL runs start identically.
+func (s *Sim) LoadEnv(p *ir.Program, env *interp.Env) error {
+	for _, g := range p.Globals {
+		if g.Type.IsArray() {
+			if err := s.SetArray(g.Name, env.Array(g)); err != nil {
+				return err
+			}
+		} else {
+			if err := s.SetScalar(g.Name, env.Scalar(g)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CompareEnv checks every architectural port against an interpreter
+// environment after execution, returning a description of the first
+// mismatch or "" when identical.
+func (s *Sim) CompareEnv(p *ir.Program, env *interp.Env) string {
+	for _, g := range p.Globals {
+		if g.Type.IsArray() {
+			got, err := s.Array(g.Name)
+			if err != nil {
+				return err.Error()
+			}
+			want := env.Array(g)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Sprintf("%s[%d]: rtl=%d behavioral=%d", g.Name, i, got[i], want[i])
+				}
+			}
+		} else {
+			got, err := s.Scalar(g.Name)
+			if err != nil {
+				return err.Error()
+			}
+			if want := env.Scalar(g); got != want {
+				return fmt.Sprintf("%s: rtl=%d behavioral=%d", g.Name, got, want)
+			}
+		}
+	}
+	return ""
+}

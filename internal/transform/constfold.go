@@ -1,0 +1,196 @@
+package transform
+
+import (
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+)
+
+// ConstFold is a program-wide constant-folding pass: it evaluates operators
+// with constant operands, simplifies algebraic identities, folds selects
+// with constant conditions, and collapses casts of constants.
+func ConstFold() Pass {
+	return PassFunc{PassName: "const-fold", Fn: func(p *ir.Program) (bool, error) {
+		changed := false
+		for _, f := range p.Funcs {
+			ir.RewriteAllExprs(f.Body, func(e ir.Expr) ir.Expr {
+				ne := FoldExpr(e)
+				if ne != e {
+					changed = true
+				}
+				return ne
+			})
+		}
+		return changed, nil
+	}}
+}
+
+// FoldExpr simplifies a single expression node whose children are already
+// folded, returning either the same node or a simpler replacement.
+func FoldExpr(e ir.Expr) ir.Expr {
+	switch x := e.(type) {
+	case *ir.BinExpr:
+		return foldBin(x)
+	case *ir.UnExpr:
+		if c, ok := x.X.(*ir.ConstExpr); ok {
+			return ir.C(interp.EvalUnOp(x.Op, c.Val, x.Typ), x.Typ)
+		}
+		// !!b and ~~x and --x collapse.
+		if inner, ok := x.X.(*ir.UnExpr); ok && inner.Op == x.Op && x.Op != ir.OpLNot {
+			if inner.X.Type().Equal(x.Typ) {
+				return inner.X
+			}
+		}
+	case *ir.SelExpr:
+		if c, ok := x.Cond.(*ir.ConstExpr); ok {
+			if c.Val != 0 {
+				return ir.Cast(x.Then, x.Typ)
+			}
+			return ir.Cast(x.Else, x.Typ)
+		}
+		// c ? e : e  →  e
+		if exprEqual(x.Then, x.Else) && IsPure(x.Then) {
+			return ir.Cast(x.Then, x.Typ)
+		}
+	case *ir.CastExpr:
+		if c, ok := x.X.(*ir.ConstExpr); ok {
+			return ir.C(c.Val, x.Typ)
+		}
+		if x.X.Type().Equal(x.Typ) {
+			return x.X
+		}
+		// Collapse cast chains when the inner cast does not narrow
+		// below the outer width (then the intermediate cast cannot
+		// change any bit the outer result keeps — for unsigned; be
+		// conservative and only collapse same-signedness widenings).
+		if inner, ok := x.X.(*ir.CastExpr); ok {
+			it, ot, st := inner.Typ, x.Typ, inner.X.Type()
+			if it.IsInt() && ot.IsInt() && st.IsInt() &&
+				!it.Signed && !ot.Signed && !st.Signed &&
+				it.Bits >= st.Bits {
+				return ir.Cast(inner.X, ot)
+			}
+		}
+	}
+	return e
+}
+
+func foldBin(x *ir.BinExpr) ir.Expr {
+	lc, lIsC := x.L.(*ir.ConstExpr)
+	rc, rIsC := x.R.(*ir.ConstExpr)
+	if lIsC && rIsC {
+		v, err := interp.EvalBinOp(x.Op, lc.Val, rc.Val, x.Typ,
+			interp.UnsignedOperands(lc.Typ, rc.Typ))
+		if err == nil {
+			return ir.C(v, x.Typ)
+		}
+		return x
+	}
+	// Algebraic identities. Only applied when the surviving operand
+	// already has the result type, so no implicit width change sneaks in.
+	sameType := func(e ir.Expr) bool { return e.Type().Equal(x.Typ) }
+	if rIsC {
+		switch {
+		case rc.Val == 0 && (x.Op == ir.OpAdd || x.Op == ir.OpSub ||
+			x.Op == ir.OpOr || x.Op == ir.OpXor ||
+			x.Op == ir.OpShl || x.Op == ir.OpShr) && sameType(x.L):
+			return x.L
+		case rc.Val == 0 && (x.Op == ir.OpMul || x.Op == ir.OpAnd):
+			return ir.C(0, x.Typ)
+		case rc.Val == 1 && (x.Op == ir.OpMul || x.Op == ir.OpDiv) && sameType(x.L):
+			return x.L
+		case x.Op == ir.OpAnd && x.L.Type().IsInt() &&
+			uint64(rc.Val)&x.L.Type().Mask() == x.L.Type().Mask() &&
+			!x.L.Type().Signed && sameType(x.L):
+			return x.L // x & all-ones
+		case x.Op == ir.OpLAnd:
+			if rc.Val != 0 {
+				return truthyOf(x.L)
+			}
+			// x && false: x is pure, so drop it.
+			if IsPure(x.L) {
+				return ir.CBool(false)
+			}
+		case x.Op == ir.OpLOr:
+			if rc.Val == 0 {
+				return truthyOf(x.L)
+			}
+			if IsPure(x.L) {
+				return ir.CBool(true)
+			}
+		}
+	}
+	if lIsC {
+		switch {
+		case lc.Val == 0 && (x.Op == ir.OpAdd || x.Op == ir.OpOr || x.Op == ir.OpXor) && sameType(x.R):
+			return x.R
+		case lc.Val == 0 && (x.Op == ir.OpMul || x.Op == ir.OpAnd ||
+			x.Op == ir.OpDiv || x.Op == ir.OpRem ||
+			x.Op == ir.OpShl || x.Op == ir.OpShr):
+			return ir.C(0, x.Typ)
+		case lc.Val == 1 && x.Op == ir.OpMul && sameType(x.R):
+			return x.R
+		case x.Op == ir.OpLAnd && lc.Val != 0:
+			return truthyOf(x.R)
+		case x.Op == ir.OpLAnd && lc.Val == 0:
+			return ir.CBool(false)
+		case x.Op == ir.OpLOr && lc.Val == 0:
+			return truthyOf(x.R)
+		case x.Op == ir.OpLOr && lc.Val != 0:
+			return ir.CBool(true)
+		}
+	}
+	// x - x, x ^ x  →  0 ; x == x → true (pure x only).
+	if exprEqual(x.L, x.R) && IsPure(x.L) {
+		switch x.Op {
+		case ir.OpSub, ir.OpXor:
+			return ir.C(0, x.Typ)
+		case ir.OpEq, ir.OpLe, ir.OpGe:
+			return ir.CBool(true)
+		case ir.OpNe, ir.OpLt, ir.OpGt:
+			return ir.CBool(false)
+		case ir.OpAnd, ir.OpOr:
+			if sameType(x.L) {
+				return x.L
+			}
+		}
+	}
+	return x
+}
+
+func truthyOf(e ir.Expr) ir.Expr {
+	if e.Type().IsBool() {
+		return e
+	}
+	return ir.Bin(ir.OpNe, e, ir.C(0, e.Type()))
+}
+
+// exprEqual reports structural equality of two expressions (same shape,
+// same variables by identity, same constants).
+func exprEqual(a, b ir.Expr) bool {
+	switch x := a.(type) {
+	case *ir.ConstExpr:
+		y, ok := b.(*ir.ConstExpr)
+		return ok && x.Val == y.Val && x.Typ.Equal(y.Typ)
+	case *ir.VarExpr:
+		y, ok := b.(*ir.VarExpr)
+		return ok && x.V == y.V
+	case *ir.IndexExpr:
+		y, ok := b.(*ir.IndexExpr)
+		return ok && x.Arr == y.Arr && exprEqual(x.Index, y.Index)
+	case *ir.BinExpr:
+		y, ok := b.(*ir.BinExpr)
+		return ok && x.Op == y.Op && x.Typ.Equal(y.Typ) &&
+			exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *ir.UnExpr:
+		y, ok := b.(*ir.UnExpr)
+		return ok && x.Op == y.Op && x.Typ.Equal(y.Typ) && exprEqual(x.X, y.X)
+	case *ir.SelExpr:
+		y, ok := b.(*ir.SelExpr)
+		return ok && x.Typ.Equal(y.Typ) && exprEqual(x.Cond, y.Cond) &&
+			exprEqual(x.Then, y.Then) && exprEqual(x.Else, y.Else)
+	case *ir.CastExpr:
+		y, ok := b.(*ir.CastExpr)
+		return ok && x.Typ.Equal(y.Typ) && exprEqual(x.X, y.X)
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package transform
+
+import (
+	"sparkgo/internal/ir"
+)
+
+// ConstProp is flow-sensitive constant propagation with branch folding.
+// It is the transformation of paper Figs 3(a) and 14: after full loop
+// unrolling, the constant assignment to the loop index variable propagates
+// through all replicated iterations, the index variable disappears from the
+// code, and conditionals with now-constant conditions fold away (e.g. the
+// first "if (1 == NextStartByte)" of the unrolled ILD, which is always
+// taken).
+//
+// Semantics note: locals are defined to be zero-initialized (package interp
+// and the RTL both guarantee this), so a local's initial value is the
+// constant 0. Globals and parameters start unknown.
+func ConstProp() Pass {
+	return PassFunc{PassName: "const-prop", Fn: func(p *ir.Program) (bool, error) {
+		changed := false
+		for _, f := range p.Funcs {
+			cp := &constProp{prog: p, fn: f}
+			state := cp.initialState()
+			if cp.block(f.Body, state) {
+				changed = true
+			}
+		}
+		return changed, nil
+	}}
+}
+
+type constVal struct {
+	known bool
+	val   int64
+}
+
+type constState map[*ir.Var]constVal
+
+func (s constState) clone() constState {
+	n := make(constState, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+type constProp struct {
+	prog *ir.Program
+	fn   *ir.Func
+}
+
+func (cp *constProp) initialState() constState {
+	s := constState{}
+	for _, v := range cp.fn.Locals {
+		if !v.IsParam && !v.IsGlobal && v.Type.IsScalar() {
+			s[v] = constVal{known: true, val: 0}
+		}
+	}
+	return s
+}
+
+// substitute rewrites e, replacing reads of known-constant variables and
+// folding, and returns the new expression.
+func (cp *constProp) substitute(e ir.Expr, s constState) (ir.Expr, bool) {
+	changed := false
+	out := ir.RewriteExpr(e, func(x ir.Expr) ir.Expr {
+		if v, ok := x.(*ir.VarExpr); ok {
+			if cv, ok := s[v.V]; ok && cv.known {
+				changed = true
+				return ir.C(cv.val, v.V.Type)
+			}
+			return x
+		}
+		nx := FoldExpr(x)
+		if nx != x {
+			changed = true
+		}
+		return nx
+	})
+	return out, changed
+}
+
+// invalidateWritten clears state entries for everything the statements may
+// write. The anyGlobalMarker sentinel (calls) clears all globals.
+func invalidateWritten(stmts []ir.Stmt, s constState) {
+	w := map[*ir.Var]bool{}
+	writtenVars(stmts, w)
+	if w[anyGlobalMarker] {
+		for v := range s {
+			if v.IsGlobal {
+				delete(s, v)
+			}
+		}
+	}
+	for v := range w {
+		delete(s, v)
+	}
+}
+
+// block propagates through a statement list, mutating statements in place
+// and updating state. It returns whether anything changed. Statement-list
+// mutation (branch folding) rebuilds the slice.
+func (cp *constProp) block(b *ir.Block, s constState) bool {
+	changed := false
+	var out []ir.Stmt
+	for _, st := range b.Stmts {
+		repl, ch := cp.stmt(st, s)
+		changed = changed || ch
+		out = append(out, repl...)
+	}
+	if len(out) != len(b.Stmts) {
+		changed = true
+	}
+	b.Stmts = out
+	return changed
+}
+
+// stmt processes one statement, returning its replacement (usually itself;
+// empty or inlined-branch for folded ifs) and whether anything changed.
+func (cp *constProp) stmt(st ir.Stmt, s constState) ([]ir.Stmt, bool) {
+	switch x := st.(type) {
+	case *ir.AssignStmt:
+		changed := false
+		if _, isCall := x.RHS.(*ir.CallExpr); isCall {
+			// Substitute in call arguments; a call clobbers globals.
+			call := x.RHS.(*ir.CallExpr)
+			for i, a := range call.Args {
+				na, ch := cp.substitute(a, s)
+				call.Args[i] = na
+				changed = changed || ch
+			}
+			for v := range s {
+				if v.IsGlobal {
+					delete(s, v)
+				}
+			}
+		} else {
+			nr, ch := cp.substitute(x.RHS, s)
+			x.RHS = nr
+			changed = changed || ch
+		}
+		switch lhs := x.LHS.(type) {
+		case *ir.VarExpr:
+			if c, ok := x.RHS.(*ir.ConstExpr); ok {
+				s[lhs.V] = constVal{known: true, val: lhs.V.Type.Canon(c.Val)}
+			} else {
+				delete(s, lhs.V)
+			}
+		case *ir.IndexExpr:
+			ni, ch := cp.substitute(lhs.Index, s)
+			lhs.Index = ni
+			changed = changed || ch
+			// Array contents are not tracked; nothing to update.
+		}
+		return []ir.Stmt{x}, changed
+
+	case *ir.IfStmt:
+		nc, changed := cp.substitute(x.Cond, s)
+		x.Cond = nc
+		if c, ok := x.Cond.(*ir.ConstExpr); ok {
+			// Branch folding: splice the taken branch in place.
+			var taken *ir.Block
+			if c.Val != 0 {
+				taken = x.Then
+			} else {
+				taken = x.Else
+			}
+			if taken == nil {
+				return nil, true
+			}
+			cp.block(taken, s)
+			return taken.Stmts, true
+		}
+		thenState := s.clone()
+		elseState := s.clone()
+		if cp.block(x.Then, thenState) {
+			changed = true
+		}
+		if x.Else != nil {
+			if cp.block(x.Else, elseState) {
+				changed = true
+			}
+		}
+		// Join: keep only facts that hold on both paths.
+		for v, cv := range thenState {
+			ev, ok := elseState[v]
+			if ok && ev.known == cv.known && ev.val == cv.val {
+				continue
+			}
+			delete(thenState, v)
+		}
+		for v := range s {
+			delete(s, v)
+		}
+		for v, cv := range thenState {
+			s[v] = cv
+		}
+		return []ir.Stmt{x}, changed
+
+	case *ir.ForStmt:
+		changed := false
+		if x.Init != nil {
+			repl, ch := cp.stmt(x.Init, s)
+			changed = changed || ch
+			if len(repl) == 1 {
+				x.Init = repl[0].(*ir.AssignStmt)
+			}
+		}
+		// Everything written in the loop is unknown at the condition
+		// and afterwards (no iteration needed: we only remove facts).
+		body := append([]ir.Stmt{}, x.Body.Stmts...)
+		if x.Post != nil {
+			body = append(body, x.Post)
+		}
+		invalidateWritten(body, s)
+		nc, ch := cp.substitute(x.Cond, s)
+		x.Cond = nc
+		changed = changed || ch
+		inner := s.clone()
+		if cp.block(x.Body, inner) {
+			changed = true
+		}
+		if x.Post != nil {
+			ni, ch := cp.substitute(x.Post.RHS, inner)
+			x.Post.RHS = ni
+			changed = changed || ch
+		}
+		return []ir.Stmt{x}, changed
+
+	case *ir.WhileStmt:
+		invalidateWritten(x.Body.Stmts, s)
+		nc, changed := cp.substitute(x.Cond, s)
+		x.Cond = nc
+		inner := s.clone()
+		if cp.block(x.Body, inner) {
+			changed = true
+		}
+		return []ir.Stmt{x}, changed
+
+	case *ir.ReturnStmt:
+		if x.Val == nil {
+			return []ir.Stmt{x}, false
+		}
+		nv, changed := cp.substitute(x.Val, s)
+		x.Val = nv
+		return []ir.Stmt{x}, changed
+
+	case *ir.ExprStmt:
+		changed := false
+		for i, a := range x.Call.Args {
+			na, ch := cp.substitute(a, s)
+			x.Call.Args[i] = na
+			changed = changed || ch
+		}
+		for v := range s {
+			if v.IsGlobal {
+				delete(s, v)
+			}
+		}
+		return []ir.Stmt{x}, changed
+
+	case *ir.Block:
+		changed := cp.block(x, s)
+		return []ir.Stmt{x}, changed
+	}
+	return []ir.Stmt{st}, false
+}

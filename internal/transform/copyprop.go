@@ -1,0 +1,220 @@
+package transform
+
+import (
+	"sparkgo/internal/ir"
+)
+
+// CopyProp is flow-sensitive copy propagation: after "a = b;", reads of a
+// are replaced by b until either variable is redefined. Together with DCE
+// it removes the copy chains that inlining and speculation leave behind
+// (the paper applies it as one of the supporting "standard compiler
+// transformations").
+//
+// Only same-type scalar copies participate (a width-changing assignment
+// contains a cast and is left alone), so replacement is always exact.
+func CopyProp() Pass {
+	return PassFunc{PassName: "copy-prop", Fn: func(p *ir.Program) (bool, error) {
+		changed := false
+		for _, f := range p.Funcs {
+			cpp := &copyProp{}
+			if cpp.block(f.Body, copyState{}) {
+				changed = true
+			}
+		}
+		return changed, nil
+	}}
+}
+
+// copyState maps a variable to the variable it is currently a copy of.
+type copyState map[*ir.Var]*ir.Var
+
+func (s copyState) clone() copyState {
+	n := make(copyState, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+// kill removes facts invalidated by a write to v: both "v = x" facts and
+// any "y = v" facts.
+func (s copyState) kill(v *ir.Var) {
+	delete(s, v)
+	for k, src := range s {
+		if src == v {
+			delete(s, k)
+		}
+	}
+}
+
+type copyProp struct{}
+
+func (cp *copyProp) substitute(e ir.Expr, s copyState) (ir.Expr, bool) {
+	changed := false
+	out := ir.RewriteExpr(e, func(x ir.Expr) ir.Expr {
+		if v, ok := x.(*ir.VarExpr); ok {
+			if src, ok := s[v.V]; ok {
+				changed = true
+				return ir.V(src)
+			}
+		}
+		return x
+	})
+	return out, changed
+}
+
+func (cp *copyProp) invalidate(stmts []ir.Stmt, s copyState) {
+	w := map[*ir.Var]bool{}
+	writtenVars(stmts, w)
+	if w[anyGlobalMarker] {
+		for v := range s {
+			if v.IsGlobal {
+				s.kill(v)
+			}
+		}
+		for k, src := range s {
+			if src.IsGlobal {
+				delete(s, k)
+			}
+		}
+	}
+	for v := range w {
+		s.kill(v)
+	}
+}
+
+func (cp *copyProp) block(b *ir.Block, s copyState) bool {
+	changed := false
+	for _, st := range b.Stmts {
+		if cp.stmt(st, s) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (cp *copyProp) stmt(st ir.Stmt, s copyState) bool {
+	changed := false
+	switch x := st.(type) {
+	case *ir.AssignStmt:
+		if call, isCall := x.RHS.(*ir.CallExpr); isCall {
+			for i, a := range call.Args {
+				na, ch := cp.substitute(a, s)
+				call.Args[i] = na
+				changed = changed || ch
+			}
+			// Call clobbers globals.
+			for v := range s {
+				if v.IsGlobal {
+					s.kill(v)
+				}
+			}
+			for k, src := range s {
+				if src.IsGlobal {
+					delete(s, k)
+				}
+			}
+		} else {
+			nr, ch := cp.substitute(x.RHS, s)
+			x.RHS = nr
+			changed = changed || ch
+		}
+		switch lhs := x.LHS.(type) {
+		case *ir.VarExpr:
+			s.kill(lhs.V)
+			if src, ok := x.RHS.(*ir.VarExpr); ok && src.V != lhs.V &&
+				src.V.Type.Equal(lhs.V.Type) {
+				s[lhs.V] = src.V
+			}
+		case *ir.IndexExpr:
+			ni, ch := cp.substitute(lhs.Index, s)
+			lhs.Index = ni
+			changed = changed || ch
+			s.kill(lhs.Arr)
+		}
+	case *ir.IfStmt:
+		nc, ch := cp.substitute(x.Cond, s)
+		x.Cond = nc
+		changed = changed || ch
+		thenState := s.clone()
+		elseState := s.clone()
+		if cp.block(x.Then, thenState) {
+			changed = true
+		}
+		if x.Else != nil {
+			if cp.block(x.Else, elseState) {
+				changed = true
+			}
+		}
+		for v, src := range thenState {
+			if elseState[v] != src {
+				delete(thenState, v)
+			}
+		}
+		for v := range s {
+			delete(s, v)
+		}
+		for v, src := range thenState {
+			s[v] = src
+		}
+	case *ir.ForStmt:
+		if x.Init != nil {
+			if cp.stmt(x.Init, s) {
+				changed = true
+			}
+		}
+		body := append([]ir.Stmt{}, x.Body.Stmts...)
+		if x.Post != nil {
+			body = append(body, x.Post)
+		}
+		cp.invalidate(body, s)
+		nc, ch := cp.substitute(x.Cond, s)
+		x.Cond = nc
+		changed = changed || ch
+		inner := s.clone()
+		if cp.block(x.Body, inner) {
+			changed = true
+		}
+		if x.Post != nil {
+			nr, ch := cp.substitute(x.Post.RHS, inner)
+			x.Post.RHS = nr
+			changed = changed || ch
+		}
+	case *ir.WhileStmt:
+		cp.invalidate(x.Body.Stmts, s)
+		nc, ch := cp.substitute(x.Cond, s)
+		x.Cond = nc
+		changed = changed || ch
+		inner := s.clone()
+		if cp.block(x.Body, inner) {
+			changed = true
+		}
+	case *ir.ReturnStmt:
+		if x.Val != nil {
+			nv, ch := cp.substitute(x.Val, s)
+			x.Val = nv
+			changed = changed || ch
+		}
+	case *ir.ExprStmt:
+		for i, a := range x.Call.Args {
+			na, ch := cp.substitute(a, s)
+			x.Call.Args[i] = na
+			changed = changed || ch
+		}
+		for v := range s {
+			if v.IsGlobal {
+				s.kill(v)
+			}
+		}
+		for k, src := range s {
+			if src.IsGlobal {
+				delete(s, k)
+			}
+		}
+	case *ir.Block:
+		if cp.block(x, s) {
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,196 @@
+package transform
+
+import (
+	"sparkgo/internal/ir"
+)
+
+// CSE performs common-subexpression elimination on whole right-hand sides:
+// when the same pure expression is assigned twice with no intervening write
+// to any of its inputs, the second assignment becomes a copy of the first
+// destination. After inlining and unrolling the ILD this removes the
+// duplicate byte loads and the repeated Need/LengthContribution lookups
+// that adjacent four-byte windows share.
+//
+// Availability is tracked flow-sensitively: an expression is invalidated by
+// a write to any variable (or array) it reads; facts established inside a
+// conditional branch do not survive the join, but outer facts flow into
+// branches (dominator availability).
+func CSE() Pass {
+	return PassFunc{PassName: "cse", Fn: func(p *ir.Program) (bool, error) {
+		changed := false
+		for _, f := range p.Funcs {
+			c := &cse{fn: f}
+			if c.block(f.Body, availMap{}) {
+				changed = true
+			}
+		}
+		return changed, nil
+	}}
+}
+
+// availMap maps a canonical expression rendering to the variable holding
+// its value.
+type availMap map[string]*ir.Var
+
+func (a availMap) clone() availMap {
+	n := make(availMap, len(a))
+	for k, v := range a {
+		n[k] = v
+	}
+	return n
+}
+
+type cse struct {
+	fn *ir.Func
+	// reads[key] = set of vars the keyed expression reads. Identical keys
+	// always denote identical expressions, so the map is function-wide.
+	reads map[string]map[*ir.Var]bool
+}
+
+// keyOf renders an expression canonically (PrintExpr is deterministic and
+// includes variable names, operators, and constant values; variable names
+// are unique within a function, so collisions cannot occur).
+func keyOf(e ir.Expr) string { return e.Type().String() + "|" + ir.PrintExpr(e) }
+
+func (c *cse) block(b *ir.Block, avail availMap) bool {
+	changed := false
+	if c.reads == nil {
+		c.reads = map[string]map[*ir.Var]bool{}
+	}
+	reads := c.reads
+	killAll := func(v *ir.Var) {
+		for k := range avail {
+			if reads[k] == nil || reads[k][v] {
+				delete(avail, k)
+			}
+		}
+		for k, holder := range avail {
+			if holder == v {
+				delete(avail, k)
+			}
+		}
+	}
+	killGlobals := func() {
+		for k := range avail {
+			anyGlobal := reads[k] == nil
+			for v := range reads[k] {
+				if v.IsGlobal {
+					anyGlobal = true
+				}
+			}
+			if anyGlobal {
+				delete(avail, k)
+			}
+		}
+		for k, holder := range avail {
+			if holder.IsGlobal {
+				delete(avail, k)
+			}
+		}
+	}
+
+	for _, s := range b.Stmts {
+		switch x := s.(type) {
+		case *ir.AssignStmt:
+			if _, isCall := x.RHS.(*ir.CallExpr); isCall {
+				killGlobals()
+				if lv, ok := x.LHS.(*ir.VarExpr); ok {
+					killAll(lv.V)
+				}
+				continue
+			}
+			worthCSE := isNontrivial(x.RHS) && IsPure(x.RHS)
+			key := keyOf(x.RHS)
+			// The read set of the ORIGINAL expression — the semantic
+			// reads of the canonical key. It must drive both the
+			// self-read guard and the recorded fact; using the
+			// substituted copy's reads would let a later write to an
+			// original input slip past killAll.
+			origReads := map[*ir.Var]bool{}
+			ir.VarsRead(x.RHS, origReads)
+			origType := x.RHS.Type()
+			if worthCSE {
+				if holder, ok := avail[key]; ok {
+					x.RHS = ir.Cast(ir.V(holder), x.LHS.Type())
+					changed = true
+				}
+			}
+			switch lhs := x.LHS.(type) {
+			case *ir.VarExpr:
+				killAll(lhs.V)
+				if worthCSE && origType.Equal(lhs.V.Type) && !origReads[lhs.V] {
+					if _, stillHas := avail[key]; !stillHas {
+						avail[key] = lhs.V
+						reads[key] = origReads
+					}
+				}
+			case *ir.IndexExpr:
+				killAll(lhs.Arr)
+			}
+		case *ir.IfStmt:
+			thenAvail := avail.clone()
+			if c.block(x.Then, thenAvail) {
+				changed = true
+			}
+			if x.Else != nil {
+				elseAvail := avail.clone()
+				if c.block(x.Else, elseAvail) {
+					changed = true
+				}
+			}
+			// Conservative join: drop facts about anything written in
+			// either branch.
+			w := map[*ir.Var]bool{}
+			writtenVars([]ir.Stmt{x}, w)
+			if w[anyGlobalMarker] {
+				killGlobals()
+			}
+			for v := range w {
+				killAll(v)
+			}
+		case *ir.ForStmt, *ir.WhileStmt:
+			// Invalidate everything the loop writes, then process the
+			// body with the surviving facts.
+			w := map[*ir.Var]bool{}
+			writtenVars([]ir.Stmt{s}, w)
+			if w[anyGlobalMarker] {
+				killGlobals()
+			}
+			for v := range w {
+				killAll(v)
+			}
+			switch l := s.(type) {
+			case *ir.ForStmt:
+				if c.block(l.Body, avail.clone()) {
+					changed = true
+				}
+			case *ir.WhileStmt:
+				if c.block(l.Body, avail.clone()) {
+					changed = true
+				}
+			}
+		case *ir.ExprStmt:
+			killGlobals()
+		case *ir.Block:
+			if c.block(x, avail) {
+				changed = true
+			}
+		case *ir.ReturnStmt:
+			// no effect on availability
+		}
+	}
+	return changed
+}
+
+// isNontrivial reports whether an expression is worth deduplicating:
+// constants, bare variable reads, and casts of variables are cheaper than
+// the copy CSE would introduce.
+func isNontrivial(e ir.Expr) bool {
+	switch x := e.(type) {
+	case *ir.ConstExpr, *ir.VarExpr:
+		return false
+	case *ir.CastExpr:
+		return isNontrivial(x.X)
+	}
+	return true
+}

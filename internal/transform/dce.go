@@ -1,0 +1,327 @@
+package transform
+
+import (
+	"sparkgo/internal/ir"
+)
+
+// DCE is dead-code elimination: assignments whose destination is never
+// subsequently read are removed, empty conditionals and loops collapse, and
+// unreferenced locals are dropped from the function. Writes to globals are
+// always observable (globals are the block's architectural outputs), as are
+// call statements.
+//
+// The paper relies on DCE to clean up after every coarse transformation:
+// eliminated loop-index variables (Fig 14), dead copies from inlining and
+// speculation, and the "unnecessary variables and variable copies" of the
+// wire-variable insertion of §3.1.2.
+func DCE() Pass {
+	return PassFunc{PassName: "dce", Fn: func(p *ir.Program) (bool, error) {
+		changed := false
+		for _, f := range p.Funcs {
+			d := &dce{prog: p, fn: f}
+			exit := d.exitLive()
+			newStmts, _ := d.apply(f.Body.Stmts, exit)
+			if len(newStmts) != len(f.Body.Stmts) {
+				changed = true
+			}
+			f.Body.Stmts = newStmts
+			if d.changed {
+				changed = true
+			}
+			if d.pruneLocals() {
+				changed = true
+			}
+		}
+		return changed, nil
+	}}
+}
+
+type liveSet map[*ir.Var]bool
+
+func (l liveSet) clone() liveSet {
+	n := make(liveSet, len(l))
+	for k := range l {
+		n[k] = true
+	}
+	return n
+}
+
+func (l liveSet) addAll(o liveSet) bool {
+	grew := false
+	for k := range o {
+		if !l[k] {
+			l[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+type dce struct {
+	prog    *ir.Program
+	fn      *ir.Func
+	changed bool
+}
+
+// exitLive is the liveness at function exit: every global (the outside
+// world observes them).
+func (d *dce) exitLive() liveSet {
+	l := liveSet{}
+	for _, g := range d.prog.Globals {
+		l[g] = true
+	}
+	return l
+}
+
+func addReads(e ir.Expr, l liveSet) {
+	m := map[*ir.Var]bool{}
+	ir.VarsRead(e, m)
+	for v := range m {
+		l[v] = true
+	}
+}
+
+// liveIn computes liveness before the statement list given liveness after,
+// without mutating anything (used for loop fixed points).
+func (d *dce) liveIn(stmts []ir.Stmt, liveOut liveSet) liveSet {
+	live := liveOut.clone()
+	for i := len(stmts) - 1; i >= 0; i-- {
+		live = d.liveInStmt(stmts[i], live)
+	}
+	return live
+}
+
+func (d *dce) liveInStmt(s ir.Stmt, live liveSet) liveSet {
+	switch x := s.(type) {
+	case *ir.AssignStmt:
+		if call, isCall := x.RHS.(*ir.CallExpr); isCall {
+			live = live.clone()
+			if lv, ok := x.LHS.(*ir.VarExpr); ok {
+				delete(live, lv.V)
+			}
+			for _, a := range call.Args {
+				addReads(a, live)
+			}
+			for _, g := range d.prog.Globals {
+				live[g] = true
+			}
+			return live
+		}
+		switch lhs := x.LHS.(type) {
+		case *ir.VarExpr:
+			if !live[lhs.V] && !lhs.V.IsGlobal {
+				return live // dead; contributes nothing
+			}
+			live = live.clone()
+			delete(live, lhs.V)
+			addReads(x.RHS, live)
+			return live
+		case *ir.IndexExpr:
+			if !live[lhs.Arr] && !lhs.Arr.IsGlobal {
+				return live
+			}
+			live = live.clone()
+			addReads(lhs.Index, live)
+			addReads(x.RHS, live)
+			live[lhs.Arr] = true // stores don't kill (partial writes)
+			return live
+		}
+		return live
+	case *ir.IfStmt:
+		t := d.liveIn(x.Then.Stmts, live)
+		e := live
+		if x.Else != nil {
+			e = d.liveIn(x.Else.Stmts, live)
+		}
+		out := t.clone()
+		out.addAll(e)
+		addReads(x.Cond, out)
+		return out
+	case *ir.ForStmt:
+		x2 := live.clone()
+		addReads(x.Cond, x2)
+		for {
+			body := append([]ir.Stmt{}, x.Body.Stmts...)
+			if x.Post != nil {
+				body = append(body, x.Post)
+			}
+			in := d.liveIn(body, x2)
+			addReads(x.Cond, in)
+			if !x2.addAll(in) {
+				break
+			}
+		}
+		if x.Init != nil {
+			return d.liveInStmt(x.Init, x2)
+		}
+		return x2
+	case *ir.WhileStmt:
+		x2 := live.clone()
+		addReads(x.Cond, x2)
+		for {
+			in := d.liveIn(x.Body.Stmts, x2)
+			addReads(x.Cond, in)
+			if !x2.addAll(in) {
+				break
+			}
+		}
+		return x2
+	case *ir.ReturnStmt:
+		// Function exits: only globals (and the value) matter.
+		l := d.exitLive()
+		if x.Val != nil {
+			addReads(x.Val, l)
+		}
+		return l
+	case *ir.ExprStmt:
+		live = live.clone()
+		for _, a := range x.Call.Args {
+			addReads(a, live)
+		}
+		for _, g := range d.prog.Globals {
+			live[g] = true
+		}
+		return live
+	case *ir.Block:
+		return d.liveIn(x.Stmts, live)
+	}
+	return live
+}
+
+// apply removes dead statements, returning the new list and its live-in.
+func (d *dce) apply(stmts []ir.Stmt, liveOut liveSet) ([]ir.Stmt, liveSet) {
+	live := liveOut.clone()
+	var out []ir.Stmt // built in reverse
+	for i := len(stmts) - 1; i >= 0; i-- {
+		s := stmts[i]
+		keep := true
+		switch x := s.(type) {
+		case *ir.AssignStmt:
+			if _, isCall := x.RHS.(*ir.CallExpr); !isCall {
+				switch lhs := x.LHS.(type) {
+				case *ir.VarExpr:
+					if !live[lhs.V] && !lhs.V.IsGlobal {
+						keep = false
+					}
+				case *ir.IndexExpr:
+					if !live[lhs.Arr] && !lhs.Arr.IsGlobal {
+						keep = false
+					}
+				}
+			}
+		case *ir.IfStmt:
+			newThen, _ := d.apply(x.Then.Stmts, live)
+			x.Then.Stmts = newThen
+			if x.Else != nil {
+				newElse, _ := d.apply(x.Else.Stmts, live)
+				x.Else.Stmts = newElse
+				if len(newElse) == 0 {
+					x.Else = nil
+				}
+			}
+			if len(x.Then.Stmts) == 0 && x.Else == nil {
+				keep = false
+			} else if len(x.Then.Stmts) == 0 && x.Else != nil {
+				// Normalize: if (c) {} else {B}  →  if (!c) {B}
+				x.Cond = FoldExpr(ir.Un(ir.OpLNot, x.Cond))
+				x.Then = x.Else
+				x.Else = nil
+				d.changed = true
+			}
+		case *ir.ForStmt:
+			// Stabilize liveness across the back edge first.
+			x2 := live.clone()
+			addReads(x.Cond, x2)
+			for {
+				body := append([]ir.Stmt{}, x.Body.Stmts...)
+				if x.Post != nil {
+					body = append(body, x.Post)
+				}
+				in := d.liveIn(body, x2)
+				addReads(x.Cond, in)
+				if !x2.addAll(in) {
+					break
+				}
+			}
+			newBody, _ := d.apply(x.Body.Stmts, x2)
+			x.Body.Stmts = newBody
+			if len(newBody) == 0 {
+				deadInit := x.Init == nil || isDeadWrite(x.Init, live)
+				deadPost := x.Post == nil || isDeadWrite(x.Post, live)
+				if deadInit && deadPost {
+					keep = false
+				}
+			}
+		case *ir.WhileStmt:
+			x2 := live.clone()
+			addReads(x.Cond, x2)
+			for {
+				in := d.liveIn(x.Body.Stmts, x2)
+				addReads(x.Cond, in)
+				if !x2.addAll(in) {
+					break
+				}
+			}
+			newBody, _ := d.apply(x.Body.Stmts, x2)
+			x.Body.Stmts = newBody
+			if len(newBody) == 0 {
+				keep = false
+			}
+		case *ir.Block:
+			newStmts, _ := d.apply(x.Stmts, live)
+			x.Stmts = newStmts
+			if len(newStmts) == 0 {
+				keep = false
+			}
+		}
+		if keep {
+			live = d.liveInStmt(s, live)
+			out = append(out, s)
+		} else {
+			d.changed = true
+		}
+	}
+	// Reverse.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out, live
+}
+
+// isDeadWrite reports whether the assignment writes only a variable that is
+// dead in live (so dropping it is unobservable).
+func isDeadWrite(a *ir.AssignStmt, live liveSet) bool {
+	if _, isCall := a.RHS.(*ir.CallExpr); isCall {
+		return false
+	}
+	lv, ok := a.LHS.(*ir.VarExpr)
+	return ok && !live[lv.V] && !lv.V.IsGlobal
+}
+
+// pruneLocals removes locals that no longer appear anywhere in the body.
+func (d *dce) pruneLocals() bool {
+	used := map[*ir.Var]bool{}
+	ir.WalkStmts(d.fn.Body, func(s ir.Stmt) bool {
+		ir.WalkStmtExprs(s, func(e ir.Expr) {
+			ir.WalkExpr(e, func(x ir.Expr) bool {
+				switch n := x.(type) {
+				case *ir.VarExpr:
+					used[n.V] = true
+				case *ir.IndexExpr:
+					used[n.Arr] = true
+				}
+				return true
+			})
+		})
+		return true
+	})
+	var kept []*ir.Var
+	for _, v := range d.fn.Locals {
+		if v.IsParam || used[v] {
+			kept = append(kept, v)
+		}
+	}
+	changed := len(kept) != len(d.fn.Locals)
+	d.fn.Locals = kept
+	return changed
+}

@@ -1,0 +1,135 @@
+package transform_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/transform"
+)
+
+// genExpr builds a random expression tree over the given variables. Used
+// with testing/quick to establish that FoldExpr never changes the value of
+// an expression — the foundation every pass that calls it relies on.
+func genExpr(rng *rand.Rand, vars []*ir.Var, depth int) ir.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			t := []*ir.Type{ir.U4, ir.U8, ir.U16, ir.Int(8)}[rng.Intn(4)]
+			return ir.C(rng.Int63n(1<<12)-(1<<11), t)
+		}
+		return ir.V(vars[rng.Intn(len(vars))])
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return ir.Un([]ir.UnOp{ir.OpNeg, ir.OpNot, ir.OpLNot}[rng.Intn(3)],
+			genExpr(rng, vars, depth-1))
+	case 1:
+		cond := ir.Bin(ir.OpNe, genExpr(rng, vars, depth-1), ir.C(0, ir.U8))
+		return ir.Sel(cond, genExpr(rng, vars, depth-1), genExpr(rng, vars, depth-1))
+	case 2:
+		t := []*ir.Type{ir.U4, ir.U8, ir.U16}[rng.Intn(3)]
+		return ir.Cast(genExpr(rng, vars, depth-1), t)
+	default:
+		ops := []ir.BinOp{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe}
+		op := ops[rng.Intn(len(ops))]
+		l := genExpr(rng, vars, depth-1)
+		r := genExpr(rng, vars, depth-1)
+		if op.IsLogical() || l.Type().IsBool() != r.Type().IsBool() {
+			// Normalize operand kinds for logical ops.
+			l = ir.Cast(l, ir.U8)
+			r = ir.Cast(r, ir.U8)
+		}
+		if op == ir.OpShl || op == ir.OpShr {
+			r = ir.C(rng.Int63n(8), ir.U4)
+		}
+		return ir.Bin(op, l, r)
+	}
+}
+
+// evalIn evaluates an expression in a tiny single-function program.
+func evalIn(t *testing.T, e ir.Expr, vars []*ir.Var, vals []int64) int64 {
+	t.Helper()
+	p := ir.NewProgram("prop")
+	f := ir.NewFunc("main", ir.Int(64))
+	f.Locals = append(f.Locals, vars...)
+	var init []ir.Stmt
+	for i, v := range vars {
+		init = append(init, ir.Assign(ir.V(v), ir.C(vals[i], v.Type)))
+	}
+	f.Body.Add(init...)
+	f.Body.Add(&ir.ReturnStmt{Val: ir.Cast(e, ir.Int(64))})
+	p.AddFunc(f)
+	if err := ir.Validate(p); err != nil {
+		t.Fatalf("generated program invalid: %v\n%s", err, ir.Print(p))
+	}
+	env := interp.NewEnv(p)
+	got, err := interp.New(p).RunMain(env)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return got
+}
+
+// Property: folding an expression tree never changes its value, for any
+// variable assignment.
+func TestFoldExprPreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260611))
+	mkVars := func() []*ir.Var {
+		return []*ir.Var{
+			{Name: "v0", Type: ir.U8},
+			{Name: "v1", Type: ir.U4},
+			{Name: "v2", Type: ir.Int(8)},
+		}
+	}
+	prop := func(x0, x1, x2 int64) bool {
+		vars := mkVars()
+		vals := []int64{x0, x1, x2}
+		e := genExpr(rng, vars, 4)
+		// Clone, then fold bottom-up exactly like the pass does.
+		folded := ir.RewriteExpr(ir.CloneExpr(e, nil), transform.FoldExpr)
+		// Folding must preserve the result type exactly.
+		if !folded.Type().Equal(e.Type()) {
+			t.Logf("type changed: %s -> %s for %s",
+				e.Type(), folded.Type(), ir.PrintExpr(e))
+			return false
+		}
+		a := evalIn(t, e, mkVars2(vars), vals)
+		b := evalIn(t, folded, mkVars2(vars), vals)
+		if a != b {
+			t.Logf("expr: %s\nfolded: %s\nvals: %v -> %d vs %d",
+				ir.PrintExpr(e), ir.PrintExpr(folded), vals, a, b)
+		}
+		return a == b
+	}
+	cfg := &quick.Config{MaxCount: 800, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// mkVars2 returns the same Var objects (the expression references them by
+// identity; evalIn needs the identical slice registered as locals).
+func mkVars2(vars []*ir.Var) []*ir.Var { return vars }
+
+// Property: folding is idempotent — folding a folded tree changes nothing.
+func TestFoldExprIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vars := []*ir.Var{
+		{Name: "v0", Type: ir.U8},
+		{Name: "v1", Type: ir.U16},
+	}
+	for i := 0; i < 500; i++ {
+		e := genExpr(rng, vars, 4)
+		once := ir.RewriteExpr(ir.CloneExpr(e, nil), transform.FoldExpr)
+		s1 := ir.PrintExpr(once)
+		twice := ir.RewriteExpr(once, transform.FoldExpr)
+		s2 := ir.PrintExpr(twice)
+		if s1 != s2 {
+			t.Fatalf("folding not idempotent:\n first: %s\nsecond: %s", s1, s2)
+		}
+	}
+}

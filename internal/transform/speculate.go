@@ -1,0 +1,236 @@
+package transform
+
+import (
+	"sparkgo/internal/ir"
+)
+
+// Speculate performs the paper's speculation transformation (Fig 11): every
+// side-effect-free computation inside a conditional branch is hoisted above
+// the conditional into a fresh temporary, executing unconditionally
+// ("speculatively"); the branch retains only the copy that commits the
+// speculated value. Nested conditionals are processed innermost-first, so
+// their (hoisted) condition computations bubble all the way up — the
+// paper's early condition execution. The result is the Fig 11 shape:
+//
+//	all data calculation up-front, speculatively
+//	followed by a pure selection (control) structure
+//
+// which the scheduler maps to parallel functional units feeding
+// multiplexers.
+//
+// Safety argument. A hoisted statement "v = RHS" becomes "t = RHS'" above
+// the conditional plus the commit copy "v = t" in its original place, with
+// t fresh. Because the commit stays in place and in order, every statement
+// remaining in the branch observes exactly the values it did before — no
+// in-branch rewriting is needed. RHS' renames reads of previously-hoisted
+// variables to their temporaries (pre-branch, the commits have not executed
+// yet). A statement may hoist only if RHS' is pure (no calls — run Inline
+// first) and reads nothing "dirty": a variable whose latest in-branch write
+// could not be hoisted (array stores, nested-conditional writes, loop
+// writes, call effects). Such reads are only meaningful after the
+// conditional write executes, so the computation must stay conditional.
+func Speculate() Pass {
+	return PassFunc{PassName: "speculate", Fn: func(p *ir.Program) (bool, error) {
+		changed := false
+		for _, f := range p.Funcs {
+			sp := &speculator{fn: f}
+			if sp.block(f.Body) {
+				changed = true
+			}
+		}
+		return changed, nil
+	}}
+}
+
+type speculator struct {
+	fn *ir.Func
+}
+
+// block processes a statement list, returning whether anything changed.
+// Hoisted code lands immediately before the conditional it came from.
+func (sp *speculator) block(b *ir.Block) bool {
+	changed := false
+	var out []ir.Stmt
+	for _, s := range b.Stmts {
+		ifs, ok := s.(*ir.IfStmt)
+		if !ok {
+			switch x := s.(type) {
+			case *ir.ForStmt:
+				changed = sp.block(x.Body) || changed
+			case *ir.WhileStmt:
+				changed = sp.block(x.Body) || changed
+			case *ir.Block:
+				changed = sp.block(x) || changed
+			}
+			out = append(out, s)
+			continue
+		}
+		hoisted, ch := sp.speculateIf(ifs)
+		changed = changed || ch
+		out = append(out, hoisted...)
+		out = append(out, ifs)
+	}
+	b.Stmts = out
+	return changed
+}
+
+// speculateIf hoists computation out of one conditional (after processing
+// nested conditionals), returning the statements to place before it.
+func (sp *speculator) speculateIf(ifs *ir.IfStmt) ([]ir.Stmt, bool) {
+	changed := false
+	// Innermost-first: speculate inside the branches, so nested hoisted
+	// code sits at branch top level where this pass can lift it further.
+	if sp.block(ifs.Then) {
+		changed = true
+	}
+	if ifs.Else != nil && sp.block(ifs.Else) {
+		changed = true
+	}
+
+	var hoisted []ir.Stmt
+	h, ch := sp.hoistBranch(ifs.Then)
+	hoisted = append(hoisted, h...)
+	changed = changed || ch
+	if ifs.Else != nil {
+		h, ch = sp.hoistBranch(ifs.Else)
+		hoisted = append(hoisted, h...)
+		changed = changed || ch
+	}
+	return hoisted, changed
+}
+
+// hoistBranch lifts hoistable assignments out of one branch (see the
+// package-level safety argument on Speculate).
+func (sp *speculator) hoistBranch(branch *ir.Block) ([]ir.Stmt, bool) {
+	changed := false
+	var hoisted []ir.Stmt
+	rename := map[*ir.Var]*ir.Var{} // var -> its speculation temp
+	dirty := map[*ir.Var]bool{}     // vars with a non-hoisted in-branch write
+
+	applyRename := func(e ir.Expr) ir.Expr {
+		return ir.RewriteExpr(e, func(x ir.Expr) ir.Expr {
+			if v, ok := x.(*ir.VarExpr); ok {
+				if t, ok := rename[v.V]; ok {
+					return ir.V(t)
+				}
+			}
+			return x
+		})
+	}
+	readsDirty := func(e ir.Expr) bool {
+		found := false
+		ir.WalkExpr(e, func(x ir.Expr) bool {
+			switch n := x.(type) {
+			case *ir.VarExpr:
+				if dirty[n.V] {
+					found = true
+				}
+			case *ir.IndexExpr:
+				if dirty[n.Arr] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	markDirty := func(s ir.Stmt) {
+		w := map[*ir.Var]bool{}
+		writtenVars([]ir.Stmt{s}, w)
+		if w[anyGlobalMarker] {
+			// Calls may write any global.
+			delete(w, anyGlobalMarker)
+			for v := range rename {
+				if v.IsGlobal {
+					delete(rename, v)
+					dirty[v] = true
+				}
+			}
+			dirtyAllGlobals(dirty, sp.fn)
+		}
+		for v := range w {
+			dirty[v] = true
+			delete(rename, v)
+		}
+	}
+
+	for i, s := range branch.Stmts {
+		a, isAssign := s.(*ir.AssignStmt)
+		if !isAssign {
+			markDirty(s)
+			continue
+		}
+		lhsVar, isVarDst := a.LHS.(*ir.VarExpr)
+		if !isVarDst {
+			markDirty(s) // array store stays conditional
+			continue
+		}
+		if _, isCall := a.RHS.(*ir.CallExpr); isCall {
+			markDirty(s)
+			continue
+		}
+		// A bare commit copy "v = t" needs no new temp.
+		if src, isCopy := a.RHS.(*ir.VarExpr); isCopy {
+			if t, ok := rename[src.V]; ok {
+				a.RHS = ir.V(t)
+			}
+			if !dirty[src.V] {
+				// v now equals a pre-branch-computable value.
+				rename[lhsVar.V] = renameTarget(rename, src.V)
+				delete(dirty, lhsVar.V)
+			} else {
+				dirty[lhsVar.V] = true
+				delete(rename, lhsVar.V)
+			}
+			continue
+		}
+		rhs := applyRename(a.RHS)
+		if !IsPure(rhs) || readsDirty(rhs) {
+			a.RHS = rhs
+			dirty[lhsVar.V] = true
+			delete(rename, lhsVar.V)
+			continue
+		}
+		// Hoist: t = RHS' above; commit copy v = t in place.
+		t := sp.fn.NewTemp("spec_"+lhsVar.V.Name, lhsVar.V.Type)
+		hoisted = append(hoisted, ir.AssignRaw(ir.V(t), rhs))
+		branch.Stmts[i] = ir.Assign(ir.V(lhsVar.V), ir.V(t))
+		rename[lhsVar.V] = t
+		delete(dirty, lhsVar.V)
+		changed = true
+	}
+	return hoisted, changed
+}
+
+// renameTarget resolves the temp a copy source refers to: if src itself has
+// a rename entry use that temp, otherwise src is readable pre-branch as-is.
+func renameTarget(rename map[*ir.Var]*ir.Var, src *ir.Var) *ir.Var {
+	if t, ok := rename[src]; ok {
+		return t
+	}
+	return src
+}
+
+func dirtyAllGlobals(dirty map[*ir.Var]bool, f *ir.Func) {
+	// Mark every global referenced in the function dirty. (We cannot
+	// enumerate program globals from here without threading the program;
+	// referenced globals are the only ones that matter for reads.)
+	ir.WalkStmts(f.Body, func(s ir.Stmt) bool {
+		ir.WalkStmtExprs(s, func(e ir.Expr) {
+			ir.WalkExpr(e, func(x ir.Expr) bool {
+				switch n := x.(type) {
+				case *ir.VarExpr:
+					if n.V.IsGlobal {
+						dirty[n.V] = true
+					}
+				case *ir.IndexExpr:
+					if n.Arr.IsGlobal {
+						dirty[n.Arr] = true
+					}
+				}
+				return true
+			})
+		})
+		return true
+	})
+}
