@@ -16,6 +16,9 @@
 //	BenchmarkBaseline_ClassicalHLS     E13  classical-HLS baseline
 //	BenchmarkFig16_NaturalForm         E14  while→for normalization
 //	BenchmarkAblation_*                A1-A4 coordination ablations
+//	BenchmarkExploration               E15  full design-space sweep
+//	BenchmarkExploreSweepCold          cold-cache concurrent sweep
+//	BenchmarkExploreSweepWarm          cache-hit path of the same sweep
 //	BenchmarkSynthesizeILD/n=*         end-to-end synthesis timing sweep
 //	BenchmarkRTLSimILD                 simulated decode throughput
 //	BenchmarkInterpILD                 behavioral decode throughput
@@ -29,6 +32,7 @@ import (
 
 	"sparkgo/internal/core"
 	"sparkgo/internal/experiments"
+	"sparkgo/internal/explore"
 	"sparkgo/internal/ild"
 	"sparkgo/internal/interp"
 	"sparkgo/internal/report"
@@ -130,6 +134,49 @@ func BenchmarkAblation_Coordination(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t, err := experiments.Ablations(16)
 		emit(b, "A1-A4", t, err)
+	}
+}
+
+// BenchmarkExploration wraps the E15 design-space sweep.
+func BenchmarkExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E15Exploration(0)
+		emit(b, "E15", t, err)
+	}
+}
+
+// sweepSpace is the benchmark grid: every toggle variant and two unroll
+// bounds over two buffer sizes, plus the classical baseline.
+func sweepSpace() []explore.Config {
+	return explore.Grid([]int{4, 8}, explore.Variants(), []int{0, 8}, true)
+}
+
+// BenchmarkExploreSweepCold measures a concurrent sweep with an empty
+// cache each iteration: raw parallel synthesis throughput.
+func BenchmarkExploreSweepCold(b *testing.B) {
+	space := sweepSpace()
+	b.ReportMetric(float64(len(space)), "configs")
+	for i := 0; i < b.N; i++ {
+		eng := &explore.Engine{}
+		pts := eng.Sweep(space)
+		if best := explore.BestCycles(pts); best == nil || best.Latency != 1 {
+			b.Fatalf("sweep lost the 1-cycle design: %+v", best)
+		}
+	}
+}
+
+// BenchmarkExploreSweepWarm measures the same sweep against a warm cache:
+// the memoized hit path that makes repeated/overlapping exploration cheap.
+func BenchmarkExploreSweepWarm(b *testing.B) {
+	space := sweepSpace()
+	eng := &explore.Engine{}
+	eng.Sweep(space) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := eng.Sweep(space)
+		if best := explore.BestCycles(pts); best == nil || best.Latency != 1 {
+			b.Fatalf("warm sweep lost the 1-cycle design: %+v", best)
+		}
 	}
 }
 

@@ -1,27 +1,55 @@
-// Command explore regenerates every experiment table of the reproduction
-// (DESIGN.md §4: E1–E14 and the A-series ablations) — the design-space
-// exploration loop the paper positions Spark for. With no arguments it
-// runs everything; pass experiment ids (e.g. "E12 A") to select.
+// Command explore drives the design-space exploration engine and
+// regenerates every experiment table of the reproduction (DESIGN.md §4:
+// E1–E15 and the A-series ablations). With no arguments it runs every
+// experiment; pass experiment ids (e.g. "E12 A E15") to select.
+//
+// The -sweep mode runs a standalone concurrent sweep over
+// (preset × pass toggles × unroll bounds × buffer sizes) and prints the
+// full point cloud plus the latency/area Pareto frontier:
+//
+//	explore -sweep [-workers 8] [-sizes 4,8,16,32] [-sim 1] [-csv]
 //
 // Usage:
 //
-//	explore [-n 16] [-csv] [E1 E2 ... A]
+//	explore [-n 16] [-csv] [E1 E2 ... A E15]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"sparkgo/internal/experiments"
+	"sparkgo/internal/explore"
 	"sparkgo/internal/report"
 )
 
 func main() {
 	n := flag.Int("n", 16, "ILD buffer size for the stage/ablation experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	sweep := flag.Bool("sweep", false, "run a standalone design-space sweep and print its frontier")
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = one per CPU)")
+	sizes := flag.String("sizes", "4,8,16,32", "comma-separated ILD buffer sizes for -sweep")
+	sim := flag.Int("sim", 1, "per-config rtlsim latency trials for -sweep (0 = report FSM states)")
 	flag.Parse()
+
+	printTable := func(t *report.Table) {
+		if *csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	if *sweep {
+		if err := runSweep(*sizes, *workers, *sim, printTable); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type exp struct {
 		id  string
@@ -40,6 +68,7 @@ func main() {
 		}},
 		{"E13", func() (*report.Table, error) { return experiments.E13Baseline([]int{4, 8, 16}) }},
 		{"E14", func() (*report.Table, error) { return experiments.E14Fig16Natural(8) }},
+		{"E15", func() (*report.Table, error) { return experiments.E15Exploration(*workers) }},
 		{"A", func() (*report.Table, error) { return experiments.Ablations(*n) }},
 	}
 
@@ -55,11 +84,7 @@ func main() {
 		}
 		t, err := e.run()
 		if t != nil {
-			if *csv {
-				fmt.Println(t.CSV())
-			} else {
-				fmt.Println(t)
-			}
+			printTable(t)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
@@ -69,4 +94,42 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runSweep executes the standalone exploration sweep and prints the point
+// cloud, the Pareto frontier, and the engine's cache statistics.
+func runSweep(sizeList string, workers, simTrials int, printTable func(*report.Table)) error {
+	var sizes []int
+	for _, f := range strings.Split(sizeList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad buffer size %q", f)
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("no buffer sizes given")
+	}
+	space := explore.Grid(sizes, explore.Variants(), []int{0, 8}, true)
+	eng := &explore.Engine{Workers: workers, SimTrials: simTrials}
+	pts := eng.Sweep(space)
+	printTable(explore.Table(fmt.Sprintf("design-space sweep (%d configs)", len(space)), pts))
+	printTable(explore.Table("latency/area Pareto frontier", explore.Frontier(pts)))
+	hits, misses := eng.CacheStats()
+	fmt.Printf("cache: %d hits, %d misses; workers: %d\n",
+		hits, misses, eng.EffectiveWorkers(len(space)))
+	failed := 0
+	for _, p := range pts {
+		if p.Err != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d configurations failed", failed, len(space))
+	}
+	return nil
 }

@@ -1,0 +1,3 @@
+module sparkgo
+
+go 1.24

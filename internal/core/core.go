@@ -23,6 +23,7 @@ import (
 	"sparkgo/internal/dfa"
 	"sparkgo/internal/htg"
 	"sparkgo/internal/ir"
+	"sparkgo/internal/pass"
 	"sparkgo/internal/rtl"
 	"sparkgo/internal/sched"
 	"sparkgo/internal/transform"
@@ -66,12 +67,47 @@ type Options struct {
 	// before everything else.
 	NormalizeWhile bool
 
+	// Passes, when non-empty, replaces the preset pipeline with an
+	// explicit ordered pass list in internal/pass spec syntax (e.g.
+	// "inline", "speculate", "unroll all full"). This is the knob the
+	// exploration engine sweeps; the ablation switches above are
+	// shorthands that resolve to a pass list via PassSpecs.
+	Passes []string
 	// CustomPasses, when non-empty, replaces the preset's transformation
-	// pipeline entirely (synthesis scripts, §4 of the paper).
+	// pipeline entirely with pre-built passes (synthesis scripts, §4 of
+	// the paper). Takes precedence over Passes.
 	CustomPasses []transform.Pass
-	// CustomRounds bounds fixed-point iteration of the custom pipeline
-	// (0 = the default of 6).
+	// CustomRounds bounds fixed-point iteration of the pipeline
+	// (0 = pass.DefaultMaxRounds).
 	CustomRounds int
+}
+
+// Toggles converts the ablation switches to a pass-plan toggle set.
+func (o Options) Toggles() pass.Toggles {
+	return pass.Toggles{
+		NoSpeculation:  o.NoSpeculation,
+		NoUnroll:       o.NoUnroll,
+		NoConstProp:    o.NoConstProp,
+		NoCSE:          o.NoCSE,
+		NormalizeWhile: o.NormalizeWhile,
+		MaxUnroll:      o.MaxUnroll,
+	}
+}
+
+// PassSpecs returns the ordered pass list this Options resolves to: the
+// explicit Passes when set, otherwise the preset plan under the ablation
+// toggles. Nil when CustomPasses overrides spec resolution entirely.
+func (o Options) PassSpecs() []string {
+	if len(o.CustomPasses) > 0 {
+		return nil
+	}
+	if len(o.Passes) > 0 {
+		return o.Passes
+	}
+	if o.Preset == MicroprocessorBlock {
+		return pass.MicroprocessorPlan(o.Toggles())
+	}
+	return pass.ClassicalPlan(o.Toggles())
 }
 
 // StageMetrics snapshots program shape after one transformation stage —
@@ -89,15 +125,17 @@ type StageMetrics struct {
 
 // Result is a completed synthesis.
 type Result struct {
-	Input    *ir.Program // untouched original
-	Program  *ir.Program // transformed program
-	Graph    *htg.Graph
-	Schedule *sched.Result
-	Module   *rtl.Module
-	Stages   []StageMetrics
-	Stats    delay.Report
-	Cycles   int // FSM states (lower bound on latency; loops add trips)
-	Preset   Preset
+	Input     *ir.Program // untouched original
+	Program   *ir.Program // transformed program
+	Graph     *htg.Graph
+	Schedule  *sched.Result
+	Module    *rtl.Module
+	Stages    []StageMetrics
+	PassStats []pass.Stat // per-pass runs/changes/wall time
+	Rounds    int         // pipeline rounds executed to reach fixpoint
+	Stats     delay.Report
+	Cycles    int // FSM states (lower bound on latency; loops add trips)
+	Preset    Preset
 }
 
 // Synthesize runs the full flow on a behavioral program.
@@ -121,14 +159,16 @@ func Synthesize(input *ir.Program, opt Options) (*Result, error) {
 		})
 	}
 
-	rounds := 6
-	if opt.CustomRounds > 0 {
-		rounds = opt.CustomRounds
+	passes, err := buildPasses(opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	pl := &transform.Pipeline{Passes: buildPasses(opt), MaxRounds: rounds, Observer: observer}
+	pl := &pass.Pipeline{Passes: passes, MaxRounds: opt.CustomRounds, Observer: observer}
 	if err := pl.Run(work); err != nil {
 		return nil, fmt.Errorf("core: transform: %w", err)
 	}
+	res.PassStats = pl.Stats()
+	res.Rounds = pl.Rounds()
 	if err := ir.Validate(work); err != nil {
 		return nil, fmt.Errorf("core: transformed program invalid: %w", err)
 	}
@@ -163,35 +203,11 @@ func Synthesize(input *ir.Program, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func buildPasses(opt Options) []transform.Pass {
+func buildPasses(opt Options) ([]transform.Pass, error) {
 	if len(opt.CustomPasses) > 0 {
-		return opt.CustomPasses
+		return opt.CustomPasses, nil
 	}
-	var passes []transform.Pass
-	if opt.NormalizeWhile {
-		passes = append(passes, transform.NormalizeWhile())
-	}
-	passes = append(passes,
-		transform.Inline(nil),
-		transform.DropUncalledFuncs(),
-	)
-	if opt.Preset == MicroprocessorBlock {
-		if !opt.NoSpeculation {
-			passes = append(passes, transform.Speculate())
-		}
-		if !opt.NoUnroll {
-			passes = append(passes, transform.UnrollFull(nil, opt.MaxUnroll))
-		}
-	}
-	if !opt.NoConstProp {
-		passes = append(passes, transform.ConstProp())
-	}
-	passes = append(passes, transform.ConstFold(), transform.CopyProp())
-	if !opt.NoCSE && opt.Preset == MicroprocessorBlock {
-		passes = append(passes, transform.CSE())
-	}
-	passes = append(passes, transform.DCE())
-	return passes
+	return pass.BuildAll(opt.PassSpecs())
 }
 
 func schedConfig(opt Options, g *htg.Graph) sched.Config {

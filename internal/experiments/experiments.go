@@ -18,6 +18,7 @@ import (
 	"sparkgo/internal/interp"
 	"sparkgo/internal/ir"
 	"sparkgo/internal/parser"
+	"sparkgo/internal/pass"
 	"sparkgo/internal/report"
 	"sparkgo/internal/transform"
 )
@@ -368,7 +369,7 @@ func E8toE11Stages(n int) (*report.Table, error) {
 		return t, fmt.Errorf("E10/Fig13: %d loops remain", l)
 	}
 
-	pl := &transform.Pipeline{Passes: []transform.Pass{
+	pl := &pass.Pipeline{Passes: []transform.Pass{
 		transform.ConstProp(), transform.ConstFold(),
 		transform.CopyProp(), transform.CSE(), transform.DCE(),
 	}, MaxRounds: 6}

@@ -35,4 +35,6 @@ func TestAllExperiments(t *testing.T) {
 	run("E14", tb, err)
 	tb, err = Ablations(8)
 	run("Ablations", tb, err)
+	tb, err = E15Exploration(0)
+	run("E15", tb, err)
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/explore"
+	"sparkgo/internal/report"
+)
+
+// E15Exploration runs the design-space exploration engine over the full
+// (preset × toggle × unroll bound × buffer size) grid — the search loop
+// the paper positions Spark's fast coordinated transformations for — and
+// reports the latency/area Pareto frontier plus engine statistics.
+// workers <= 0 uses one worker per CPU.
+func E15Exploration(workers int) (*report.Table, error) {
+	space := explore.Grid([]int{4, 8, 16, 32}, explore.Variants(), []int{0, 8}, true)
+	eng := &explore.Engine{Workers: workers, SimTrials: 1}
+	pts := eng.Sweep(space)
+
+	t := report.New(fmt.Sprintf("E15: design-space exploration (%d configs)", len(space)),
+		"point", "config", "latency", "crit path (gu)", "area")
+	failed := 0
+	for i, p := range pts {
+		if p.Err != "" {
+			failed++
+			if failed == 1 {
+				t.Add("FAILED", space[i].String(), 0, 0.0, 0.0)
+			}
+		}
+	}
+	front := explore.Frontier(pts)
+	for _, p := range front {
+		t.Add("frontier", p.Config.String(), p.Latency, p.CritPath, p.Area)
+	}
+	best := explore.BestCycles(pts)
+	smallest := explore.BestArea(pts)
+	if best != nil {
+		t.Add("best-cycle", best.Config.String(), best.Latency, best.CritPath, best.Area)
+	}
+	if smallest != nil {
+		t.Add("best-area", smallest.Config.String(), smallest.Latency, smallest.CritPath, smallest.Area)
+	}
+	hits, misses := eng.CacheStats()
+	t.Add("cache", fmt.Sprintf("hits=%d misses=%d", hits, misses), len(space), 0.0, 0.0)
+
+	if failed > 0 {
+		return t, fmt.Errorf("E15: %d of %d configs failed to synthesize", failed, len(space))
+	}
+	if len(space) < 48 {
+		return t, fmt.Errorf("E15: swept only %d configs, want >= 48", len(space))
+	}
+	if best == nil || best.Latency != 1 {
+		return t, fmt.Errorf("E15: no 1-cycle design on the frontier")
+	}
+	if best.Config.Preset != core.MicroprocessorBlock {
+		return t, fmt.Errorf("E15: best-cycle design not from the coordinated regime")
+	}
+	if smallest.Area >= best.Area {
+		return t, fmt.Errorf("E15: no latency/area trade-off: best-area %.1f >= best-cycle area %.1f",
+			smallest.Area, best.Area)
+	}
+	if len(front) < 2 {
+		return t, fmt.Errorf("E15: frontier collapsed to %d point(s); no latency/area trade-off found",
+			len(front))
+	}
+	return t, nil
+}

@@ -1,0 +1,353 @@
+// Package explore is the design-space exploration engine the paper's
+// methodology calls for: the coordinated transformations (speculation,
+// chaining across conditionals, unrolling) beat any fixed ordering only
+// when the designer can sweep configurations quickly, so this package
+// turns one synthesis flow into a concurrent search over
+// (preset × pass toggles × unroll bounds × ILD buffer sizes).
+//
+// An Engine shards a configuration space over a worker pool, memoizes
+// completed syntheses behind a config-hash cache (repeat sweeps and
+// overlapping grids hit the cache instead of re-synthesizing), and the
+// frontier helpers reduce the resulting point cloud to the best-cycle /
+// best-area Pareto set the designer actually reads.
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtlsim"
+)
+
+// Config is one point in the design space: a source scale (the ILD buffer
+// size) plus a synthesis configuration.
+type Config struct {
+	// N is the source scale parameter (ILD buffer size for the default
+	// source generator).
+	N int
+	// Preset selects the synthesis regime.
+	Preset core.Preset
+	// Toggle knockouts (the ablation axes A1–A4 plus CSE).
+	NoSpeculation bool
+	NoUnroll      bool
+	NoConstProp   bool
+	NoCSE         bool
+	NoChaining    bool
+	// MaxUnroll bounds full unrolling (0 = unlimited default).
+	MaxUnroll int
+	// Passes, when non-empty, is an explicit pass list (internal/pass
+	// spec syntax) replacing the preset plan — the pass-order axis.
+	Passes []string
+	// Rounds bounds pipeline fixpoint iteration (0 = default).
+	Rounds int
+}
+
+// Options lowers the config to synthesizer options.
+func (c Config) Options() core.Options {
+	return core.Options{
+		Preset:        c.Preset,
+		MaxUnroll:     c.MaxUnroll,
+		NoSpeculation: c.NoSpeculation,
+		NoUnroll:      c.NoUnroll,
+		NoConstProp:   c.NoConstProp,
+		NoCSE:         c.NoCSE,
+		NoChaining:    c.NoChaining,
+		Passes:        c.Passes,
+		CustomRounds:  c.Rounds,
+	}
+}
+
+// String renders the canonical form of the config — the exact text the
+// cache key hashes, so two configs are cache-equivalent iff their strings
+// match.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d preset=%s", c.N, c.Preset)
+	for _, t := range []struct {
+		on   bool
+		name string
+	}{
+		{c.NoSpeculation, "nospec"}, {c.NoUnroll, "nounroll"},
+		{c.NoConstProp, "noconstprop"}, {c.NoCSE, "nocse"},
+		{c.NoChaining, "nochain"},
+	} {
+		if t.on {
+			b.WriteString(" " + t.name)
+		}
+	}
+	if c.MaxUnroll > 0 {
+		fmt.Fprintf(&b, " maxunroll=%d", c.MaxUnroll)
+	}
+	if len(c.Passes) > 0 {
+		fmt.Fprintf(&b, " passes=[%s]", strings.Join(c.Passes, "; "))
+	}
+	if c.Rounds > 0 {
+		fmt.Fprintf(&b, " rounds=%d", c.Rounds)
+	}
+	return b.String()
+}
+
+// Key is the 64-bit FNV-1a hash of the canonical string: a compact
+// config fingerprint for simulation seeding and external reporting. The
+// in-process memoization cache keys on the canonical string itself, so a
+// hash collision can never alias two configurations.
+func (c Config) Key() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.String()))
+	return h.Sum64()
+}
+
+// Point is one evaluated configuration.
+type Point struct {
+	Config   Config
+	Cycles   int     // FSM states of the synthesized design
+	Latency  int     // simulated cycles per activation (= Cycles when SimTrials is 0)
+	CritPath float64 // gate-unit critical path
+	Area     float64
+	Muxes    int
+	FUs      int
+	Rounds   int    // pipeline rounds to fixpoint
+	Err      string // non-empty when synthesis failed; metrics are zero
+}
+
+// Engine evaluates configuration spaces over a worker pool with a
+// config-hash memoization cache. The zero value is ready to use; the
+// cache persists across sweeps, so overlapping spaces only synthesize new
+// configurations.
+type Engine struct {
+	// Workers bounds sweep concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Source generates the program for a config's scale parameter
+	// (nil = the ILD behavioral description, ild.Program).
+	Source func(n int) *ir.Program
+	// SimTrials, when positive, measures per-activation latency by
+	// cycle-accurate simulation on that many random stimulus vectors
+	// (seeded from the config hash, so results are deterministic).
+	// Zero reports the FSM state count as the latency.
+	SimTrials int
+
+	mu sync.Mutex
+	// cache is keyed on the canonical config string rather than its
+	// 64-bit hash, so a hash collision can never alias two configs.
+	cache  map[string]*entry
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type entry struct {
+	once sync.Once
+	pt   Point
+}
+
+// Evaluate synthesizes one configuration, serving repeats from the cache.
+// Concurrent callers of the same configuration synthesize once and share
+// the result.
+func (e *Engine) Evaluate(c Config) Point {
+	key := c.String()
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = map[string]*entry{}
+	}
+	en, cached := e.cache[key]
+	if !cached {
+		en = &entry{}
+		e.cache[key] = en
+	}
+	e.mu.Unlock()
+	if cached {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	en.once.Do(func() { en.pt = e.evaluate(c) })
+	return en.pt
+}
+
+// CacheStats reports cumulative cache hits and misses across sweeps.
+func (e *Engine) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// EffectiveWorkers reports the worker-pool size a sweep over n
+// configurations actually uses: Workers (or GOMAXPROCS when unset),
+// clamped to n.
+func (e *Engine) EffectiveWorkers(n int) int {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Sweep evaluates every configuration concurrently over the worker pool.
+// The result order matches the input order, and results depend only on
+// the configurations themselves, so sweeps are deterministic regardless
+// of worker count or scheduling.
+func (e *Engine) Sweep(space []Config) []Point {
+	out := make([]Point, len(space))
+	workers := e.EffectiveWorkers(len(space))
+	if workers <= 1 {
+		for i, c := range space {
+			out[i] = e.Evaluate(c)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.Evaluate(space[i])
+			}
+		}()
+	}
+	for i := range space {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func (e *Engine) evaluate(c Config) Point {
+	pt := Point{Config: c}
+	src := e.Source
+	if src == nil {
+		src = ild.Program
+	}
+	res, err := core.Synthesize(src(c.N), c.Options())
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	pt.Cycles = res.Cycles
+	pt.Latency = res.Cycles
+	pt.CritPath = res.Stats.CriticalPath
+	pt.Area = res.Stats.Area
+	pt.Muxes = res.Stats.Muxes
+	pt.FUs = res.Stats.FUs
+	pt.Rounds = res.Rounds
+	if e.SimTrials > 0 {
+		lat, err := e.simulate(res, c)
+		if err != nil {
+			pt.Err = err.Error()
+			return pt
+		}
+		pt.Latency = lat
+	}
+	return pt
+}
+
+// simulate measures the worst per-activation cycle count over SimTrials
+// random stimulus vectors, seeded from the config hash for determinism.
+func (e *Engine) simulate(res *core.Result, c Config) (int, error) {
+	rng := rand.New(rand.NewSource(int64(c.Key())))
+	max := 0
+	for trial := 0; trial < e.SimTrials; trial++ {
+		env := interp.RandomEnv(res.Input, rng)
+		sim := rtlsim.New(res.Module)
+		if err := sim.LoadEnv(res.Input, env); err != nil {
+			return 0, err
+		}
+		cycles, err := sim.Run(1 << 22)
+		if err != nil {
+			return 0, err
+		}
+		if cycles > max {
+			max = cycles
+		}
+	}
+	return max, nil
+}
+
+// Variant names one toggle combination of the sweep grid.
+type Variant struct {
+	Name          string
+	NoSpeculation bool
+	NoUnroll      bool
+	NoConstProp   bool
+	NoCSE         bool
+	NoChaining    bool
+}
+
+// Variants enumerates the coordination ablations the paper studies: full
+// coordination plus each single-transformation knockout (A1–A4 and CSE).
+func Variants() []Variant {
+	return []Variant{
+		{Name: "full"},
+		{Name: "no-speculation", NoSpeculation: true},
+		{Name: "no-unroll", NoUnroll: true},
+		{Name: "no-constprop", NoConstProp: true},
+		{Name: "no-cse", NoCSE: true},
+		{Name: "no-chaining", NoChaining: true},
+	}
+}
+
+// Grid builds the cartesian configuration space
+// (sizes × variants × unroll bounds) in the microprocessor-block regime,
+// optionally adding the classical-ASIC baseline per size.
+func Grid(sizes []int, variants []Variant, maxUnrolls []int, includeClassical bool) []Config {
+	if len(maxUnrolls) == 0 {
+		maxUnrolls = []int{0}
+	}
+	var space []Config
+	for _, n := range sizes {
+		for _, v := range variants {
+			for _, mu := range maxUnrolls {
+				space = append(space, Config{
+					N: n, Preset: core.MicroprocessorBlock,
+					NoSpeculation: v.NoSpeculation, NoUnroll: v.NoUnroll,
+					NoConstProp: v.NoConstProp, NoCSE: v.NoCSE,
+					NoChaining: v.NoChaining, MaxUnroll: mu,
+				})
+			}
+		}
+		if includeClassical {
+			space = append(space, Config{N: n, Preset: core.ClassicalASIC})
+		}
+	}
+	return space
+}
+
+// Sample draws k configurations from space without replacement, seeded —
+// the deterministic random-subspace sampler for sweep tests and quick
+// scouting runs. k >= len(space) returns a shuffled copy.
+func Sample(space []Config, k int, seed int64) []Config {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Config, len(space))
+	copy(out, space)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// sortStable orders points by (latency, area, canonical config) — the
+// presentation order of frontiers and best-point queries.
+func sortStable(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Latency != pts[j].Latency {
+			return pts[i].Latency < pts[j].Latency
+		}
+		if pts[i].Area != pts[j].Area {
+			return pts[i].Area < pts[j].Area
+		}
+		return pts[i].Config.String() < pts[j].Config.String()
+	})
+}

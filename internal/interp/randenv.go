@@ -1,0 +1,39 @@
+package interp
+
+import (
+	"math/rand"
+
+	"sparkgo/internal/ir"
+)
+
+// RandomEnv builds an environment for p with every global initialized
+// from rng: scalars uniform over their type's range, arrays element-wise
+// uniform. Both the test suites and the exploration engine use this for
+// seeded random stimulus.
+func RandomEnv(p *ir.Program, rng *rand.Rand) *Env {
+	env := NewEnv(p)
+	for _, g := range p.Globals {
+		if g.Type.IsArray() {
+			vals := make([]int64, g.Type.Len)
+			for i := range vals {
+				vals[i] = randScalar(g.Type.Elem, rng)
+			}
+			env.SetArray(g, vals)
+		} else {
+			env.SetScalar(g, randScalar(g.Type, rng))
+		}
+	}
+	return env
+}
+
+func randScalar(t *ir.Type, rng *rand.Rand) int64 {
+	if t.IsBool() {
+		return int64(rng.Intn(2))
+	}
+	w := t.Width()
+	raw := rng.Int63()
+	if w < 63 {
+		raw &= (1 << uint(w)) - 1
+	}
+	return t.Canon(raw)
+}

@@ -1,0 +1,137 @@
+// Package pass turns the coordinated transformations of package transform
+// into a named, composable pass pipeline — the substrate both the
+// synthesizer (internal/core) and the design-space exploration engine
+// (internal/explore) drive. It provides:
+//
+//   - a registry of named pass factories ("inline", "speculate", "unroll",
+//     "constprop", ...) so pass lists can be expressed as plain strings in
+//     options, synthesis scripts, and exploration configs;
+//   - a Pipeline that iterates a pass list to a fixed point while
+//     recording per-pass statistics (runs, changes, wall time);
+//   - the preset plans of the paper's two regimes (microprocessor-block
+//     and classical-ASIC) with toggles for the ablation axes A1–A4.
+//
+// The paper's thesis is that these transformations only pay off in
+// coordination; making every pass individually nameable and toggleable is
+// what lets the exploration engine sweep orderings and subsets instead of
+// replaying one hard-wired script.
+package pass
+
+import (
+	"fmt"
+	"time"
+
+	"sparkgo/internal/ir"
+	"sparkgo/internal/transform"
+)
+
+// DefaultMaxRounds bounds fixed-point iteration when a Pipeline does not
+// set its own limit (the synthesizer's historical default).
+const DefaultMaxRounds = 6
+
+// Stat records the cumulative behavior of one pass across a Pipeline run:
+// how often it executed, how often it changed the program, and how much
+// wall time it consumed. The exploration engine reports these to show
+// where synthesis time goes.
+type Stat struct {
+	Name     string
+	Runs     int
+	Changes  int
+	Duration time.Duration
+}
+
+// Pipeline applies a pass list in order, repeating the whole sequence
+// until no pass reports a change or MaxRounds is exhausted.
+type Pipeline struct {
+	Passes []transform.Pass
+	// MaxRounds bounds fixed-point iteration; 0 means DefaultMaxRounds.
+	// 1 runs the sequence exactly once (no iteration).
+	MaxRounds int
+	// Observer, when non-nil, is called after every pass execution with
+	// the pass name and whether it changed the program. The synthesizer
+	// uses this to snapshot per-stage metrics.
+	Observer func(pass string, changed bool, p *ir.Program)
+
+	stats  []Stat
+	index  map[string]int
+	rounds int
+	fixed  bool
+}
+
+// New builds a pipeline over already-constructed passes.
+func New(passes ...transform.Pass) *Pipeline {
+	return &Pipeline{Passes: passes}
+}
+
+// FromSpecs builds a pipeline from registry spec strings (see Build).
+func FromSpecs(specs []string) (*Pipeline, error) {
+	passes, err := BuildAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Passes: passes}, nil
+}
+
+// Run executes the pipeline on p to a fixed point. Statistics accumulate
+// across calls; use a fresh Pipeline per program for per-run numbers.
+func (pl *Pipeline) Run(p *ir.Program) error {
+	rounds := pl.MaxRounds
+	if rounds <= 0 {
+		rounds = DefaultMaxRounds
+	}
+	pl.fixed = false
+	pl.rounds = 0
+	for round := 0; round < rounds; round++ {
+		pl.rounds++
+		any := false
+		for _, pass := range pl.Passes {
+			start := time.Now()
+			changed, err := pass.Run(p)
+			pl.record(pass.Name(), changed, time.Since(start))
+			if err != nil {
+				return fmt.Errorf("pass %s: %w", pass.Name(), err)
+			}
+			if pl.Observer != nil {
+				pl.Observer(pass.Name(), changed, p)
+			}
+			any = any || changed
+		}
+		if !any {
+			pl.fixed = true
+			return nil
+		}
+	}
+	return nil
+}
+
+func (pl *Pipeline) record(name string, changed bool, d time.Duration) {
+	if pl.index == nil {
+		pl.index = map[string]int{}
+	}
+	i, ok := pl.index[name]
+	if !ok {
+		i = len(pl.stats)
+		pl.index[name] = i
+		pl.stats = append(pl.stats, Stat{Name: name})
+	}
+	s := &pl.stats[i]
+	s.Runs++
+	if changed {
+		s.Changes++
+	}
+	s.Duration += d
+}
+
+// Stats returns per-pass statistics in first-execution order.
+func (pl *Pipeline) Stats() []Stat {
+	out := make([]Stat, len(pl.stats))
+	copy(out, pl.stats)
+	return out
+}
+
+// Rounds reports how many rounds the last Run executed.
+func (pl *Pipeline) Rounds() int { return pl.rounds }
+
+// Fixed reports whether the last Run reached a fixed point (a full round
+// in which no pass changed the program) before exhausting MaxRounds.
+func (pl *Pipeline) Fixed() bool { return pl.fixed }

@@ -1,0 +1,277 @@
+package pass_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+	"sparkgo/internal/pass"
+	"sparkgo/internal/testutil"
+)
+
+// fig2Source is the Op1/Op2 loop of paper Fig 2.
+const fig2Source = `
+uint8 in1[8];
+uint8 r1[8];
+uint8 r2[8];
+void main() {
+  uint8 i;
+  for (i = 0; i < 8; i++) {
+    r1[i] = in1[i] + 3;
+    r2[i] = r1[i] ^ in1[i];
+  }
+}
+`
+
+// fig4Source is the conditional listing of paper Fig 4.
+const fig4Source = `
+uint8 a;
+uint8 b;
+uint8 c;
+uint8 d;
+uint8 e;
+bool cond;
+uint8 f;
+void main() {
+  uint8 t1;
+  uint8 t2;
+  uint8 t3;
+  t1 = a + b;
+  if (cond) {
+    t2 = t1;
+    t3 = c + d;
+  } else {
+    t2 = e;
+    t3 = c - d;
+  }
+  f = t2 + t3;
+}
+`
+
+// whileSource exercises normalize-while: a bounded monotone while loop.
+const whileSource = `
+uint8 acc[8];
+uint8 out;
+void main() {
+  uint8 i;
+  uint8 s;
+  s = 0;
+  i = 0;
+  #bound 8
+  while (i <= 7) {
+    s = s + acc[i];
+    i = i + 1;
+  }
+  out = s;
+}
+`
+
+// testPrograms returns the example programs the pipeline tests run on:
+// the Fig 2 loop, the Fig 4 conditional, the while-form reduction, and
+// the full ILD case study (calls + nested conditionals + loops).
+func testPrograms(t *testing.T) map[string]func() *ir.Program {
+	t.Helper()
+	return map[string]func() *ir.Program{
+		"fig2":  func() *ir.Program { return parser.MustParse("fig2", fig2Source) },
+		"fig4":  func() *ir.Program { return parser.MustParse("fig4", fig4Source) },
+		"while": func() *ir.Program { return parser.MustParse("while", whileSource) },
+		"ild4":  func() *ir.Program { return ild.Program(4) },
+	}
+}
+
+// TestPassIdempotentAtFixpoint drives every registered pass alone to a
+// fixpoint on every example program and asserts (a) the fixpoint is
+// reached within the round bound (no oscillation), (b) one further run
+// reports no change (idempotence), and (c) interpreter semantics are
+// preserved relative to the untouched program.
+func TestPassIdempotentAtFixpoint(t *testing.T) {
+	specs := []string{
+		"normalize-while", "inline", "drop-uncalled", "speculate",
+		"unroll all full", "constprop", "constfold", "copyprop", "cse", "dce",
+	}
+	for progName, mk := range testPrograms(t) {
+		for _, spec := range specs {
+			t.Run(progName+"/"+spec, func(t *testing.T) {
+				original := mk()
+				work := mk()
+				pl, err := pass.FromSpecs([]string{spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl.MaxRounds = 32
+				if err := pl.Run(work); err != nil {
+					t.Fatal(err)
+				}
+				if !pl.Fixed() {
+					t.Fatalf("no fixpoint within %d rounds", pl.MaxRounds)
+				}
+				p, err := pass.Build(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				changed, err := p.Run(work)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if changed {
+					t.Fatalf("pass %s changed the program again after fixpoint", spec)
+				}
+				if err := ir.Validate(work); err != nil {
+					t.Fatalf("transformed program invalid: %v", err)
+				}
+				if err := testutil.Equivalent(original, work, 25, 11); err != nil {
+					t.Fatalf("semantics changed: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// permutations returns a deterministic set of orderings of specs:
+// identity, reversal, and every rotation.
+func permutations(specs []string) [][]string {
+	var out [][]string
+	out = append(out, append([]string(nil), specs...))
+	rev := make([]string, len(specs))
+	for i, s := range specs {
+		rev[len(specs)-1-i] = s
+	}
+	out = append(out, rev)
+	for k := 1; k < len(specs); k++ {
+		rot := append(append([]string(nil), specs[k:]...), specs[:k]...)
+		out = append(out, rot)
+	}
+	return out
+}
+
+// TestPassOrderPermutationsPreserveSemantics runs reorderings of the full
+// microprocessor-block plan over the example programs and asserts every
+// ordering preserves interpreter semantics — the property that makes the
+// exploration engine's pass-order axis safe to sweep.
+func TestPassOrderPermutationsPreserveSemantics(t *testing.T) {
+	plan := pass.MicroprocessorPlan(pass.Toggles{})
+	for progName, mk := range testPrograms(t) {
+		if progName == "while" {
+			continue // the plan without normalize-while keeps the loop; still covered below
+		}
+		for i, specs := range permutations(plan) {
+			t.Run(fmt.Sprintf("%s/perm%d", progName, i), func(t *testing.T) {
+				original := mk()
+				work := mk()
+				pl, err := pass.FromSpecs(specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl.MaxRounds = 8
+				if err := pl.Run(work); err != nil {
+					t.Fatal(err)
+				}
+				if err := ir.Validate(work); err != nil {
+					t.Fatalf("transformed program invalid: %v", err)
+				}
+				if err := testutil.Equivalent(original, work, 20, 5); err != nil {
+					t.Fatalf("order %v changed semantics: %v", specs, err)
+				}
+			})
+		}
+	}
+	// The while program needs normalize-while in the mix; permute the
+	// normalizing plan separately.
+	norm := pass.MicroprocessorPlan(pass.Toggles{NormalizeWhile: true})
+	for i, specs := range permutations(norm) {
+		t.Run(fmt.Sprintf("while/perm%d", i), func(t *testing.T) {
+			original := parser.MustParse("while", whileSource)
+			work := parser.MustParse("while", whileSource)
+			pl, err := pass.FromSpecs(specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.MaxRounds = 8
+			if err := pl.Run(work); err != nil {
+				t.Fatal(err)
+			}
+			if err := testutil.Equivalent(original, work, 20, 5); err != nil {
+				t.Fatalf("order %v changed semantics: %v", specs, err)
+			}
+		})
+	}
+}
+
+// TestPipelineStats checks per-pass accounting: every pass in the plan is
+// recorded, runs equal the executed rounds, and changes never exceed runs.
+func TestPipelineStats(t *testing.T) {
+	p := ild.Program(4)
+	pl, err := pass.FromSpecs(pass.MicroprocessorPlan(pass.Toggles{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	stats := pl.Stats()
+	if len(stats) != len(pl.Passes) {
+		t.Fatalf("stats for %d passes, want %d", len(stats), len(pl.Passes))
+	}
+	if pl.Rounds() < 1 {
+		t.Fatalf("rounds = %d", pl.Rounds())
+	}
+	changedAny := false
+	for _, s := range stats {
+		if s.Runs != pl.Rounds() {
+			t.Errorf("pass %s: runs = %d, want %d", s.Name, s.Runs, pl.Rounds())
+		}
+		if s.Changes > s.Runs {
+			t.Errorf("pass %s: changes %d > runs %d", s.Name, s.Changes, s.Runs)
+		}
+		changedAny = changedAny || s.Changes > 0
+	}
+	if !changedAny {
+		t.Error("no pass reported a change on the ILD program")
+	}
+}
+
+// TestPlansMatchLegacyPipelines pins the default plans to the pass
+// sequences the synthesizer historically hard-wired.
+func TestPlansMatchLegacyPipelines(t *testing.T) {
+	got := pass.MicroprocessorPlan(pass.Toggles{})
+	want := []string{"inline", "drop-uncalled", "speculate", "unroll all full",
+		"constprop", "constfold", "copyprop", "cse", "dce"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MicroprocessorPlan = %v, want %v", got, want)
+	}
+	got = pass.ClassicalPlan(pass.Toggles{})
+	want = []string{"inline", "drop-uncalled", "constprop", "constfold", "copyprop", "dce"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ClassicalPlan = %v, want %v", got, want)
+	}
+	got = pass.MicroprocessorPlan(pass.Toggles{
+		NoSpeculation: true, NoCSE: true, NormalizeWhile: true, MaxUnroll: 8,
+	})
+	want = []string{"normalize-while", "inline", "drop-uncalled",
+		"unroll all full 8", "constprop", "constfold", "copyprop", "dce"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("toggled plan = %v, want %v", got, want)
+	}
+}
+
+// TestRegistryErrors checks spec parsing failures.
+func TestRegistryErrors(t *testing.T) {
+	bad := []string{
+		"", "frobnicate", "unroll", "unroll all", "unroll all 0",
+		"unroll all -3", "unroll all 2", "unroll L0 4 9", "cse extra",
+	}
+	for _, spec := range bad {
+		if _, err := pass.Build(spec); err == nil {
+			t.Errorf("Build(%q): expected error", spec)
+		}
+	}
+	for _, good := range []string{"unroll all full", "unroll all full 16",
+		"unroll L0 4", "normalize", "const-prop"} {
+		if _, err := pass.Build(good); err != nil {
+			t.Errorf("Build(%q): %v", good, err)
+		}
+	}
+}

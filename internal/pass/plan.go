@@ -1,0 +1,64 @@
+package pass
+
+import "fmt"
+
+// Toggles disables individual coordinated transformations in a preset
+// plan — the paper's ablation axes (A1–A4) and the knobs the exploration
+// engine sweeps.
+type Toggles struct {
+	NoSpeculation  bool // A1: keep computation inside conditionals
+	NoUnroll       bool // A2: keep loops (scheduler falls back to FSM states)
+	NoConstProp    bool // A3: keep index variables after unrolling
+	NoCSE          bool // keep redundant subexpressions
+	NormalizeWhile bool // enable the Fig 16 while→for source transformation
+	// MaxUnroll bounds the trip count full unrolling accepts
+	// (0 = transform.DefaultMaxUnroll).
+	MaxUnroll int
+}
+
+// MicroprocessorPlan returns the ordered pass specs of the paper's regime
+// (§6): inline everything, speculate, unroll fully, then propagate and
+// clean — minus whatever the toggles disable.
+func MicroprocessorPlan(t Toggles) []string {
+	var specs []string
+	if t.NormalizeWhile {
+		specs = append(specs, "normalize-while")
+	}
+	specs = append(specs, "inline", "drop-uncalled")
+	if !t.NoSpeculation {
+		specs = append(specs, "speculate")
+	}
+	if !t.NoUnroll {
+		if t.MaxUnroll > 0 {
+			specs = append(specs, fmt.Sprintf("unroll all full %d", t.MaxUnroll))
+		} else {
+			specs = append(specs, "unroll all full")
+		}
+	}
+	if !t.NoConstProp {
+		specs = append(specs, "constprop")
+	}
+	specs = append(specs, "constfold", "copyprop")
+	if !t.NoCSE {
+		specs = append(specs, "cse")
+	}
+	specs = append(specs, "dce")
+	return specs
+}
+
+// ClassicalPlan returns the baseline regime's passes: inlining and the
+// standard scalar cleanups, but none of the parallelizing code motions
+// (no speculation, no unrolling, no CSE — matching the classical-HLS
+// contrast the paper draws).
+func ClassicalPlan(t Toggles) []string {
+	var specs []string
+	if t.NormalizeWhile {
+		specs = append(specs, "normalize-while")
+	}
+	specs = append(specs, "inline", "drop-uncalled")
+	if !t.NoConstProp {
+		specs = append(specs, "constprop")
+	}
+	specs = append(specs, "constfold", "copyprop", "dce")
+	return specs
+}

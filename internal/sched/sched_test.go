@@ -7,6 +7,7 @@ import (
 	"sparkgo/internal/htg"
 	"sparkgo/internal/ir"
 	"sparkgo/internal/parser"
+	"sparkgo/internal/pass"
 	"sparkgo/internal/sched"
 	"sparkgo/internal/transform"
 )
@@ -14,9 +15,9 @@ import (
 func prepare(t *testing.T, src string) *htg.Graph {
 	t.Helper()
 	p := parser.MustParse("t", src)
-	pl := &transform.Pipeline{Passes: []transform.Pass{
+	pl := &pass.Pipeline{Passes: []transform.Pass{
 		transform.Inline(nil), transform.DropUncalledFuncs(),
-	}}
+	}, MaxRounds: 1}
 	if err := pl.Run(p); err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,9 @@
 //	rounds <n>                     # iterate the pass list up to n rounds
 //
 // A script that lists any pass replaces the preset's default pipeline with
-// exactly the listed sequence.
+// exactly the listed sequence. Pass commands resolve through the
+// internal/pass registry, so every registered pass name (including aliases
+// like "const-prop" and the bounded "unroll all full <max>") is accepted.
 package script
 
 import (
@@ -27,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sparkgo/internal/pass"
 	"sparkgo/internal/transform"
 )
 
@@ -105,47 +108,15 @@ func (s *Script) apply(cmd string, args []string) error {
 			return fmt.Errorf("bad round count %q", args[0])
 		}
 		s.Rounds = n
-	case "normalize-while":
-		s.Passes = append(s.Passes, transform.NormalizeWhile())
-	case "inline":
-		s.Passes = append(s.Passes, transform.Inline(nil))
-	case "drop-uncalled":
-		s.Passes = append(s.Passes, transform.DropUncalledFuncs())
-	case "speculate":
-		s.Passes = append(s.Passes, transform.Speculate())
-	case "unroll":
-		if len(args) != 2 {
-			return fmt.Errorf("unroll needs <label|all> <full|factor>")
-		}
-		label, amount := args[0], args[1]
-		if amount == "full" {
-			if label == "all" {
-				s.Passes = append(s.Passes, transform.UnrollFull(nil, 0))
-			} else {
-				s.Passes = append(s.Passes, transform.UnrollFull([]string{label}, 0))
-			}
-			return nil
-		}
-		factor, err := strconv.Atoi(amount)
-		if err != nil || factor < 2 {
-			return fmt.Errorf("bad unroll factor %q", amount)
-		}
-		if label == "all" {
-			return fmt.Errorf("partial unroll needs a loop label")
-		}
-		s.Passes = append(s.Passes, transform.UnrollBy(label, factor))
-	case "constprop":
-		s.Passes = append(s.Passes, transform.ConstProp())
-	case "constfold":
-		s.Passes = append(s.Passes, transform.ConstFold())
-	case "copyprop":
-		s.Passes = append(s.Passes, transform.CopyProp())
-	case "cse":
-		s.Passes = append(s.Passes, transform.CSE())
-	case "dce":
-		s.Passes = append(s.Passes, transform.DCE())
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		// Every other command is a pass spec resolved by the registry
+		// (internal/pass), so scripts accept exactly the pass names the
+		// synthesizer and exploration engine use.
+		p, err := pass.Build(strings.Join(append([]string{cmd}, args...), " "))
+		if err != nil {
+			return err
+		}
+		s.Passes = append(s.Passes, p)
 	}
 	return nil
 }

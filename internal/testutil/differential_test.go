@@ -1,0 +1,65 @@
+package testutil_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/testutil"
+)
+
+// TestDifferentialILD runs the differential harness on the synthesized
+// single-cycle ILD across buffer sizes: 30 seeded random buffers per size
+// (120 total) through interp (golden model) and rtlsim must decode
+// identically.
+func TestDifferentialILD(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			t.Parallel()
+			p := ild.Program(n)
+			res, err := core.Synthesize(p, core.Options{Preset: core.MicroprocessorBlock})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != 1 {
+				t.Fatalf("expected single-cycle module, got %d states", res.Cycles)
+			}
+			if err := testutil.DifferentialILD(res.Input, res.Module, n, 30, int64(1000+n)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialILDBaseline runs the same harness on the classical-ASIC
+// baseline (a multi-cycle loop FSM), so the differential check covers
+// both synthesis regimes, not just the single-cycle architecture.
+func TestDifferentialILDBaseline(t *testing.T) {
+	n := 8
+	p := ild.Program(n)
+	res, err := core.Synthesize(p, core.Options{Preset: core.ClassicalASIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testutil.DifferentialILD(res.Input, res.Module, n, 10, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialILDNatural covers the Fig 16 natural (while-form)
+// description through the normalize-while pass.
+func TestDifferentialILDNatural(t *testing.T) {
+	n := 8
+	p := ild.NaturalProgram(n)
+	res, err := core.Synthesize(p, core.Options{
+		Preset: core.MicroprocessorBlock, NormalizeWhile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testutil.DifferentialILD(res.Input, res.Module, n, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+}

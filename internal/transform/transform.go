@@ -18,8 +18,6 @@
 package transform
 
 import (
-	"fmt"
-
 	"sparkgo/internal/ir"
 )
 
@@ -42,44 +40,6 @@ func (pf PassFunc) Name() string { return pf.PassName }
 
 // Run implements Pass.
 func (pf PassFunc) Run(p *ir.Program) (bool, error) { return pf.Fn(p) }
-
-// Pipeline applies passes in order, optionally repeating the whole sequence
-// until no pass reports a change (fixed point).
-type Pipeline struct {
-	Passes []Pass
-	// MaxRounds bounds fixed-point iteration; 1 means a single pass
-	// through the sequence (no iteration). Zero defaults to 1.
-	MaxRounds int
-	// Observer, when non-nil, is called after every pass execution with
-	// the pass name and whether it changed the program. The synthesizer
-	// uses this to snapshot per-stage metrics (DESIGN.md experiments).
-	Observer func(pass string, changed bool, p *ir.Program)
-}
-
-// Run executes the pipeline on p.
-func (pl *Pipeline) Run(p *ir.Program) error {
-	rounds := pl.MaxRounds
-	if rounds <= 0 {
-		rounds = 1
-	}
-	for round := 0; round < rounds; round++ {
-		any := false
-		for _, pass := range pl.Passes {
-			changed, err := pass.Run(p)
-			if err != nil {
-				return fmt.Errorf("pass %s: %w", pass.Name(), err)
-			}
-			if pl.Observer != nil {
-				pl.Observer(pass.Name(), changed, p)
-			}
-			any = any || changed
-		}
-		if !any {
-			return nil
-		}
-	}
-	return nil
-}
 
 // IsPure reports whether evaluating e has no side effects and no
 // dependence on anything but variable/array state: true for everything

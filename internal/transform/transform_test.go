@@ -6,6 +6,7 @@ import (
 
 	"sparkgo/internal/ir"
 	"sparkgo/internal/parser"
+	"sparkgo/internal/pass"
 	"sparkgo/internal/testutil"
 	"sparkgo/internal/transform"
 )
@@ -206,7 +207,7 @@ func TestFullPipelinePreservesSemantics(t *testing.T) {
 				t.Fatal(err)
 			}
 			work := ir.CloneProgram(orig)
-			pl := &transform.Pipeline{
+			pl := &pass.Pipeline{
 				Passes: []transform.Pass{
 					transform.NormalizeWhile(),
 					transform.Inline(nil),
@@ -275,7 +276,7 @@ void main() {
   }
 }
 `)
-	pl := &transform.Pipeline{Passes: []transform.Pass{
+	pl := &pass.Pipeline{Passes: []transform.Pass{
 		transform.UnrollFull(nil, 0),
 		transform.ConstProp(),
 		transform.DCE(),
@@ -425,7 +426,7 @@ void main() {
   out = t2 + 1;
 }
 `)
-	pl := &transform.Pipeline{Passes: []transform.Pass{
+	pl := &pass.Pipeline{Passes: []transform.Pass{
 		transform.CopyProp(), transform.DCE(),
 	}, MaxRounds: 2}
 	if err := pl.Run(p); err != nil {
@@ -506,7 +507,7 @@ void main() {
   }
 }
 `)
-	pl := &transform.Pipeline{Passes: []transform.Pass{
+	pl := &pass.Pipeline{Passes: []transform.Pass{
 		transform.ConstProp(), transform.DCE(),
 	}, MaxRounds: 2}
 	if err := pl.Run(p); err != nil {
