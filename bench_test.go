@@ -19,6 +19,8 @@
 //	BenchmarkExploration               E15  full design-space sweep
 //	BenchmarkExploreSweepCold          cold-cache concurrent sweep
 //	BenchmarkExploreSweepWarm          cache-hit path of the same sweep
+//	BenchmarkExploreSweepDiskCold      cold sweep that also populates a disk cache
+//	BenchmarkExploreSweepDiskWarm      fresh engine served from on-disk artifacts
 //	BenchmarkSynthesizeILD/n=*         end-to-end synthesis timing sweep
 //	BenchmarkRTLSimILD                 simulated decode throughput
 //	BenchmarkInterpILD                 behavioral decode throughput
@@ -176,6 +178,48 @@ func BenchmarkExploreSweepWarm(b *testing.B) {
 		pts := eng.Sweep(space)
 		if best := explore.BestCycles(pts); best == nil || best.Latency != 1 {
 			b.Fatalf("warm sweep lost the 1-cycle design: %+v", best)
+		}
+	}
+}
+
+// BenchmarkExploreSweepDiskCold measures a cold sweep that additionally
+// writes every stage artifact and evaluated point to a fresh disk cache:
+// the write-side overhead of persistence.
+func BenchmarkExploreSweepDiskCold(b *testing.B) {
+	space := sweepSpace()
+	b.ReportMetric(float64(len(space)), "configs")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		eng := &explore.Engine{CacheDir: dir}
+		pts := eng.Sweep(space)
+		if best := explore.BestCycles(pts); best == nil || best.Latency != 1 {
+			b.Fatalf("disk-cold sweep lost the 1-cycle design: %+v", best)
+		}
+	}
+}
+
+// BenchmarkExploreSweepDiskWarm measures the restart path the disk cache
+// exists for: each iteration builds a completely fresh engine — empty
+// memory caches, standing in for a new process — against a pre-populated
+// cache directory. Compare against BenchmarkExploreSweepCold for the
+// persistence payoff.
+func BenchmarkExploreSweepDiskWarm(b *testing.B) {
+	space := sweepSpace()
+	dir := b.TempDir()
+	prime := &explore.Engine{CacheDir: dir}
+	prime.Sweep(space)
+	b.ReportMetric(float64(len(space)), "configs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &explore.Engine{CacheDir: dir}
+		pts := eng.Sweep(space)
+		if best := explore.BestCycles(pts); best == nil || best.Latency != 1 {
+			b.Fatalf("disk-warm sweep lost the 1-cycle design: %+v", best)
+		}
+		if st := eng.Stats(); st.PointComputed != 0 {
+			b.Fatalf("disk-warm sweep synthesized %d configs, want 0", st.PointComputed)
 		}
 	}
 }

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sparkgo/internal/explore"
+)
+
+// benchRun is one measured sweep in the cache trajectory.
+type benchRun struct {
+	// Name identifies the cache regime: "cold" (empty caches),
+	// "warm" (same engine re-sweep, memory cache), "disk-cold"
+	// (fresh engine populating a disk cache), "disk-warm" (fresh
+	// engine — a stand-in for a restarted process — served from disk).
+	Name string `json:"name"`
+	// Nanos is the wall time of the sweep.
+	Nanos int64 `json:"ns"`
+	// Configs is the number of configurations evaluated.
+	Configs int `json:"configs"`
+	// Failed counts configurations whose synthesis failed.
+	Failed int            `json:"failed"`
+	Stats  benchCacheStat `json:"cache"`
+}
+
+type benchCacheStat struct {
+	PointMemHits     int64 `json:"point_mem_hits"`
+	PointDiskHits    int64 `json:"point_disk_hits"`
+	PointComputed    int64 `json:"point_computed"`
+	FrontendMemHits  int64 `json:"frontend_mem_hits"`
+	FrontendDiskHits int64 `json:"frontend_disk_hits"`
+	FrontendComputed int64 `json:"frontend_computed"`
+	DiskErrors       int64 `json:"disk_errors"`
+}
+
+// benchReport is the BENCH_explore.json schema consumed by CI trend
+// tracking. Speedups are cold-time over the regime's time (higher is
+// better; the caches are the product being measured).
+type benchReport struct {
+	Schema          string     `json:"schema"`
+	Timestamp       string     `json:"timestamp"`
+	GoOS            string     `json:"goos"`
+	GoArch          string     `json:"goarch"`
+	CPUs            int        `json:"cpus"`
+	Workers         int        `json:"workers"`
+	SimTrials       int        `json:"sim_trials"`
+	Runs            []benchRun `json:"runs"`
+	WarmSpeedup     float64    `json:"warm_speedup"`
+	DiskWarmSpeedup float64    `json:"disk_warm_speedup"`
+}
+
+// runBenchJSON measures the exploration-cache trajectory — cold, warm
+// in-memory, and disk-warm across a simulated process restart — and
+// writes the machine-readable report the CI workflow archives.
+func runBenchJSON(path, sizeList string, workers, simTrials int) error {
+	sizes, err := parseSizes(sizeList)
+	if err != nil {
+		return err
+	}
+	space := explore.Grid(sizes, explore.Variants(), []int{0, 8}, true)
+	cacheDir, err := os.MkdirTemp("", "explore-bench-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	measure := func(name string, eng *explore.Engine, before explore.Stats) (benchRun, error) {
+		start := time.Now()
+		pts := eng.Sweep(space)
+		elapsed := time.Since(start)
+		failed := 0
+		for _, p := range pts {
+			if p.Err != "" {
+				failed++
+			}
+		}
+		after := eng.Stats()
+		run := benchRun{
+			Name: name, Nanos: elapsed.Nanoseconds(),
+			Configs: len(space), Failed: failed,
+			Stats: benchCacheStat{
+				PointMemHits:     after.PointMemHits - before.PointMemHits,
+				PointDiskHits:    after.PointDiskHits - before.PointDiskHits,
+				PointComputed:    after.PointComputed - before.PointComputed,
+				FrontendMemHits:  after.FrontendMemHits - before.FrontendMemHits,
+				FrontendDiskHits: after.FrontendDiskHits - before.FrontendDiskHits,
+				FrontendComputed: after.FrontendComputed - before.FrontendComputed,
+				DiskErrors:       after.DiskErrors - before.DiskErrors,
+			},
+		}
+		if failed > 0 {
+			return run, fmt.Errorf("%s sweep: %d of %d configurations failed", name, failed, len(space))
+		}
+		return run, nil
+	}
+
+	report := benchReport{
+		Schema:    "sparkgo/bench-explore/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoOS:      runtime.GOOS, GoArch: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), SimTrials: simTrials,
+	}
+
+	// Cold: empty memory cache, no disk.
+	cold := &explore.Engine{Workers: workers, SimTrials: simTrials}
+	report.Workers = cold.EffectiveWorkers(len(space))
+	coldRun, err := measure("cold", cold, explore.Stats{})
+	if err != nil {
+		return err
+	}
+	report.Runs = append(report.Runs, coldRun)
+
+	// Warm: the same engine re-sweeps against its in-memory cache.
+	warmRun, err := measure("warm", cold, cold.Stats())
+	if err != nil {
+		return err
+	}
+	report.Runs = append(report.Runs, warmRun)
+
+	// Disk-cold: a fresh engine populates the disk cache.
+	diskCold := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	diskColdRun, err := measure("disk-cold", diskCold, explore.Stats{})
+	if err != nil {
+		return err
+	}
+	report.Runs = append(report.Runs, diskColdRun)
+
+	// Disk-warm: another fresh engine — a restarted process — reuses it.
+	diskWarm := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	diskWarmRun, err := measure("disk-warm", diskWarm, explore.Stats{})
+	if err != nil {
+		return err
+	}
+	report.Runs = append(report.Runs, diskWarmRun)
+
+	if warmRun.Nanos > 0 {
+		report.WarmSpeedup = float64(coldRun.Nanos) / float64(warmRun.Nanos)
+	}
+	if diskWarmRun.Nanos > 0 {
+		report.DiskWarmSpeedup = float64(coldRun.Nanos) / float64(diskWarmRun.Nanos)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: cold %.1fms, warm %.1fms (%.0fx), disk-warm %.1fms (%.1fx), %d configs\n",
+		path, float64(coldRun.Nanos)/1e6, float64(warmRun.Nanos)/1e6, report.WarmSpeedup,
+		float64(diskWarmRun.Nanos)/1e6, report.DiskWarmSpeedup, len(space))
+	return nil
+}

@@ -1,28 +1,45 @@
 // Command explore drives the design-space exploration engine and
 // regenerates every experiment table of the reproduction (DESIGN.md §4:
-// E1–E15 and the A-series ablations). With no arguments it runs every
-// experiment; pass experiment ids (e.g. "E12 A E15") to select.
+// E1–E16 and the A-series ablations). With no arguments it runs every
+// experiment; pass experiment ids (e.g. "E12 A E15 E16") to select.
 //
 // The -sweep mode runs a standalone concurrent sweep over
 // (preset × pass toggles × unroll bounds × buffer sizes) and prints the
-// full point cloud plus the latency/area Pareto frontier:
+// full point cloud, the latency/area Pareto frontier, and the engine's
+// per-stage cache statistics (memory vs disk hits vs computed):
 //
 //	explore -sweep [-workers 8] [-sizes 4,8,16,32] [-sim 1] [-csv]
+//	        [-cache-dir .explore-cache] [-src a.c,b.c]
+//
+// -src replaces the built-in ILD generator with arbitrary user programs
+// parsed from files: the sweep batches every named source into one
+// configuration space. -cache-dir persists stage artifacts and
+// evaluated points on disk, so repeated sweeps — including across
+// process restarts — reuse earlier synthesis work.
+//
+// The -bench-json mode measures the cache trajectory (cold sweep, warm
+// in-memory re-sweep, disk-warm sweep in a fresh engine) and writes the
+// results as machine-readable JSON for CI trend tracking:
+//
+//	explore -bench-json BENCH_explore.json [-workers 8] [-sizes 4,8]
 //
 // Usage:
 //
-//	explore [-n 16] [-csv] [E1 E2 ... A E15]
+//	explore [-n 16] [-csv] [E1 E2 ... A E15 E16]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"sparkgo/internal/experiments"
 	"sparkgo/internal/explore"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
 	"sparkgo/internal/report"
 )
 
@@ -33,6 +50,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = one per CPU)")
 	sizes := flag.String("sizes", "4,8,16,32", "comma-separated ILD buffer sizes for -sweep")
 	sim := flag.Int("sim", 1, "per-config rtlsim latency trials for -sweep (0 = report FSM states)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed exploration cache directory (persists across runs)")
+	srcFiles := flag.String("src", "", "comma-separated source files to sweep instead of the ILD generator")
+	benchJSON := flag.String("bench-json", "", "write cold/warm/disk-warm sweep benchmark results to this JSON file and exit")
 	flag.Parse()
 
 	printTable := func(t *report.Table) {
@@ -43,8 +63,16 @@ func main() {
 		}
 	}
 
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *sizes, *workers, *sim); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *sweep {
-		if err := runSweep(*sizes, *workers, *sim, printTable); err != nil {
+		if err := runSweep(*sizes, *srcFiles, *cacheDir, *workers, *sim, printTable); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep FAILED: %v\n", err)
 			os.Exit(1)
 		}
@@ -69,6 +97,7 @@ func main() {
 		{"E13", func() (*report.Table, error) { return experiments.E13Baseline([]int{4, 8, 16}) }},
 		{"E14", func() (*report.Table, error) { return experiments.E14Fig16Natural(8) }},
 		{"E15", func() (*report.Table, error) { return experiments.E15Exploration(*workers) }},
+		{"E16", func() (*report.Table, error) { return experiments.E16PassOrder(*n, *workers) }},
 		{"A", func() (*report.Table, error) { return experiments.Ablations(*n) }},
 	}
 
@@ -96,9 +125,8 @@ func main() {
 	}
 }
 
-// runSweep executes the standalone exploration sweep and prints the point
-// cloud, the Pareto frontier, and the engine's cache statistics.
-func runSweep(sizeList string, workers, simTrials int, printTable func(*report.Table)) error {
+// parseSizes turns the -sizes flag into a size list.
+func parseSizes(sizeList string) ([]int, error) {
 	var sizes []int
 	for _, f := range strings.Split(sizeList, ",") {
 		f = strings.TrimSpace(f)
@@ -107,21 +135,73 @@ func runSweep(sizeList string, workers, simTrials int, printTable func(*report.T
 		}
 		v, err := strconv.Atoi(f)
 		if err != nil || v < 1 {
-			return fmt.Errorf("bad buffer size %q", f)
+			return nil, fmt.Errorf("bad buffer size %q", f)
 		}
 		sizes = append(sizes, v)
 	}
 	if len(sizes) == 0 {
-		return fmt.Errorf("no buffer sizes given")
+		return nil, fmt.Errorf("no buffer sizes given")
 	}
-	space := explore.Grid(sizes, explore.Variants(), []int{0, 8}, true)
-	eng := &explore.Engine{Workers: workers, SimTrials: simTrials}
+	return sizes, nil
+}
+
+// loadSources parses the -src file list into a named source table. Names
+// are file basenames without extension; duplicates are rejected rather
+// than silently shadowed.
+func loadSources(fileList string) (map[string]*ir.Program, []string, error) {
+	sources := map[string]*ir.Program{}
+	var names []string
+	for _, path := range strings.Split(fileList, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if _, dup := sources[name]; dup {
+			return nil, nil, fmt.Errorf("duplicate source name %q (from %s)", name, path)
+		}
+		prog, err := parser.Parse(name, string(text))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		sources[name] = prog
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no source files given")
+	}
+	return sources, names, nil
+}
+
+// runSweep executes the standalone exploration sweep and prints the point
+// cloud, the Pareto frontier, and the engine's cache statistics.
+func runSweep(sizeList, srcFiles, cacheDir string, workers, simTrials int,
+	printTable func(*report.Table)) error {
+	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	var space []explore.Config
+	if srcFiles != "" {
+		sources, names, err := loadSources(srcFiles)
+		if err != nil {
+			return err
+		}
+		eng.Sources = sources
+		space = explore.GridSources(names, explore.Variants(), []int{0, 8}, true)
+	} else {
+		sizes, err := parseSizes(sizeList)
+		if err != nil {
+			return err
+		}
+		space = explore.Grid(sizes, explore.Variants(), []int{0, 8}, true)
+	}
 	pts := eng.Sweep(space)
 	printTable(explore.Table(fmt.Sprintf("design-space sweep (%d configs)", len(space)), pts))
 	printTable(explore.Table("latency/area Pareto frontier", explore.Frontier(pts)))
-	hits, misses := eng.CacheStats()
-	fmt.Printf("cache: %d hits, %d misses; workers: %d\n",
-		hits, misses, eng.EffectiveWorkers(len(space)))
+	printTable(cacheTable(eng.Stats()))
+	fmt.Printf("workers: %d\n", eng.EffectiveWorkers(len(space)))
 	failed := 0
 	for _, p := range pts {
 		if p.Err != "" {
@@ -132,4 +212,15 @@ func runSweep(sizeList string, workers, simTrials int, printTable func(*report.T
 		return fmt.Errorf("%d of %d configurations failed", failed, len(space))
 	}
 	return nil
+}
+
+// cacheTable renders the engine's per-stage cache statistics: where each
+// lookup was served from (memory, disk, or computed by synthesis).
+func cacheTable(s explore.Stats) *report.Table {
+	t := report.New("exploration cache statistics",
+		"layer", "memory hits", "disk hits", "computed", "disk errors")
+	t.Add("point", s.PointMemHits, s.PointDiskHits, s.PointComputed, "")
+	t.Add("frontend stage", s.FrontendMemHits, s.FrontendDiskHits, s.FrontendComputed, "")
+	t.Add("disk", "", "", "", s.DiskErrors)
+	return t
 }

@@ -1,0 +1,151 @@
+// Package cache is a versioned, gob-encoded artifact store on disk: the
+// persistence layer under the exploration engine's memoization. Artifacts
+// are addressed by (kind, key) where the key is any stable identifier —
+// in practice the stage keys of internal/core, which already hash the
+// artifact content, the consumed options, and a per-stage version.
+//
+// On-disk layout:
+//
+//	<root>/<schema-version>/<kind>/<kk>/<sha256(key)>.gob
+//
+// where <kk> is the first two hex digits of the hashed key (a fan-out
+// shard so directories stay small under large sweeps). Every file starts
+// with a gob-encoded header {Format, Version, Kind, Key}; Get verifies
+// all four before decoding the payload, so a format bump, a schema
+// version bump, or a (vanishingly unlikely) filename-hash collision all
+// read as a clean miss, never as a stale or aliased artifact.
+//
+// Writes go through a temp file plus rename, so concurrent writers —
+// including separate processes sharing one cache directory — can race on
+// a key without ever exposing a torn file. Losing the race wastes one
+// redundant write of identical content, nothing more.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the file-format version stamped into every artifact
+// header. Bump it when the header or framing changes; older files then
+// miss instead of mis-decoding.
+const FormatVersion = 1
+
+// header precedes every payload on disk.
+type header struct {
+	Format  int
+	Version string
+	Kind    string
+	Key     string
+}
+
+// Store is a handle on one cache directory at one schema version. The
+// zero value is unusable; use Open.
+type Store struct {
+	root    string
+	version string
+}
+
+// Open prepares a store rooted at dir for artifacts of the given schema
+// version, creating directories as needed. Different versions share a
+// root but never each other's artifacts.
+func Open(dir, version string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if version == "" {
+		return nil, fmt.Errorf("cache: empty version")
+	}
+	root := filepath.Join(dir, sanitize(version))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{root: root, version: version}, nil
+}
+
+// Root returns the store's versioned root directory.
+func (s *Store) Root() string { return s.root }
+
+// path maps (kind, key) to the artifact file.
+func (s *Store) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.root, sanitize(kind), name[:2], name+".gob")
+}
+
+// Get decodes the artifact stored under (kind, key) into out, reporting
+// whether it was found. A missing file, a version or format mismatch, or
+// a key collision is a miss (false, nil); a present-but-undecodable file
+// is an error.
+func (s *Store) Get(kind, key string, out any) (bool, error) {
+	f, err := os.Open(s.path(kind, key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("cache: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return false, fmt.Errorf("cache: %s/%s: bad header: %w", kind, key, err)
+	}
+	if h.Format != FormatVersion || h.Version != s.version || h.Kind != kind || h.Key != key {
+		return false, nil
+	}
+	if err := dec.Decode(out); err != nil {
+		return false, fmt.Errorf("cache: %s/%s: bad payload: %w", kind, key, err)
+	}
+	return true, nil
+}
+
+// Put stores v under (kind, key), atomically replacing any previous
+// artifact.
+func (s *Store) Put(kind, key string, v any) error {
+	path := s.path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(header{
+		Format: FormatVersion, Version: s.version, Kind: kind, Key: key,
+	}); err == nil {
+		err = enc.Encode(v)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %s/%s: encode: %w", kind, key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// sanitize keeps path segments portable: anything outside
+// [a-zA-Z0-9._-] becomes '_'.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

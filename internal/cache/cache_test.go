@@ -1,0 +1,183 @@
+package cache_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sparkgo/internal/cache"
+)
+
+type artifact struct {
+	Name   string
+	Values []int
+	Score  float64
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := cache.Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact{Name: "fe", Values: []int{1, 2, 3}, Score: 2.5}
+	if err := s.Put("frontend", "key-1", want); err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	ok, err := s.Get("frontend", "key-1", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v; want hit", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestMissOnAbsentKey(t *testing.T) {
+	s, err := cache.Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	ok, err := s.Get("frontend", "no-such-key", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("hit on absent key")
+	}
+}
+
+// TestVersionedInvalidation pins the invalidation contract: artifacts
+// written under one schema version are invisible to a store opened at
+// another version on the same root, in both directions.
+func TestVersionedInvalidation(t *testing.T) {
+	root := t.TempDir()
+	v1, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Put("point", "k", artifact{Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := cache.Open(root, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	if ok, err := v2.Get("point", "k", &got); err != nil || ok {
+		t.Fatalf("v2 store sees v1 artifact: ok=%v err=%v", ok, err)
+	}
+	if err := v2.Put("point", "k", artifact{Name: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := v1.Get("point", "k", &got); err != nil || !ok || got.Name != "old" {
+		t.Fatalf("v1 artifact disturbed: ok=%v err=%v got=%+v", ok, err, got)
+	}
+}
+
+// TestKindsAreDisjoint checks that the same key under different kinds
+// addresses different artifacts.
+func TestKindsAreDisjoint(t *testing.T) {
+	s, err := cache.Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("frontend", "k", artifact{Name: "fe"}); err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	if ok, _ := s.Get("point", "k", &got); ok {
+		t.Fatal("kind 'point' served kind 'frontend' artifact")
+	}
+}
+
+// TestHeaderMismatchIsMiss corrupts a stored artifact's location by
+// writing a different key's content there, and checks the header check
+// turns it into a miss rather than silently aliasing.
+func TestHeaderMismatchIsMiss(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", "a", artifact{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Find the stored file and copy it over where key "b" would live:
+	// a filename-hash collision in miniature.
+	var files []string
+	filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("expected 1 stored file, found %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", "b", artifact{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	files = files[:0]
+	filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, p)
+		}
+		return nil
+	})
+	for _, f := range files {
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got artifact
+	if ok, err := s.Get("point", "b", &got); err != nil || ok {
+		t.Fatalf("aliased artifact served: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if ok, err := s.Get("point", "a", &got); err != nil || !ok || got.Name != "a" {
+		t.Fatalf("original artifact lost: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestConcurrentPutGet races writers and readers on a small key set; the
+// atomic-rename protocol must never expose a torn or empty artifact.
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := cache.Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k0", "k1", "k2", "k3"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keys[(w+i)%len(keys)]
+				want := artifact{Name: k, Values: []int{1, 2, 3}}
+				if err := s.Put("point", k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				var got artifact
+				ok, err := s.Get("point", k, &got)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok && got.Name != k {
+					t.Errorf("key %s served %+v", k, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

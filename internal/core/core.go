@@ -1,7 +1,31 @@
 // Package core is the sparkgo synthesizer: the coordinated application of
 // source-level parallelizing transformations, chaining-aware scheduling,
 // binding, and RTL generation that the Spark paper presents as its
-// contribution. One call to Synthesize runs the full methodology of §6:
+// contribution (§6).
+//
+// Synthesis is an explicitly staged flow. Each stage consumes a
+// content-hashed artifact plus only the option fields it actually reads,
+// and returns a hashable artifact of its own:
+//
+//	Frontend  behavioral C → pass pipeline to fixpoint → FrontendArtifact
+//	          (transformed IR + canonical source + fingerprint)
+//	          reads: pass list, fixpoint bound
+//	Midend    FrontendArtifact → HTG lowering → scheduling → MidendArtifact
+//	          (task graph + FSM schedule)
+//	          reads: preset, delay model, resources, chaining switch
+//	Backend   MidendArtifact → binding → netlist → BackendArtifact
+//	          (RTL module + area/delay report)
+//	          reads: delay model
+//
+// Every artifact carries a stage key — a SHA-256 over the consumed
+// artifact's fingerprint, the canonical rendering of the options read,
+// and a per-stage version constant (FrontendVersion etc., bumped to
+// invalidate cached artifacts when stage semantics change). The
+// exploration engine (internal/explore) memoizes on these keys, in
+// memory and on disk, so configurations that differ only in back-end
+// knobs share one frontend run and sweeps survive process restarts.
+//
+// Synthesize composes the three stages into the paper's one-call flow:
 //
 //	behavioral C  →  inline (Fig 12)  →  speculate (Fig 11)
 //	              →  unroll fully (Fig 13)  →  propagate constants (Fig 14)
@@ -17,10 +41,7 @@
 package core
 
 import (
-	"fmt"
-
 	"sparkgo/internal/delay"
-	"sparkgo/internal/dfa"
 	"sparkgo/internal/htg"
 	"sparkgo/internal/ir"
 	"sparkgo/internal/pass"
@@ -126,7 +147,7 @@ type StageMetrics struct {
 // Result is a completed synthesis.
 type Result struct {
 	Input     *ir.Program // untouched original
-	Program   *ir.Program // transformed program
+	Program   *ir.Program // transformed program (the copy the graph references)
 	Graph     *htg.Graph
 	Schedule  *sched.Result
 	Module    *rtl.Module
@@ -138,96 +159,36 @@ type Result struct {
 	Preset    Preset
 }
 
-// Synthesize runs the full flow on a behavioral program.
+// Synthesize runs the full flow on a behavioral program: the three
+// stages (Frontend, Midend, Backend) composed back-to-back. Callers that
+// want artifact reuse across runs — many configurations over one source
+// — drive the stages individually (internal/explore does).
 func Synthesize(input *ir.Program, opt Options) (*Result, error) {
-	if opt.Model == nil {
-		opt.Model = delay.Default()
-	}
-	work := ir.CloneProgram(input)
-	res := &Result{Input: input, Program: work, Preset: opt.Preset}
-
-	observer := func(pass string, changed bool, p *ir.Program) {
-		m := p.Main()
-		if m == nil {
-			return
-		}
-		res.Stages = append(res.Stages, StageMetrics{
-			Pass: pass, Changed: changed,
-			Stmts: ir.CountStmts(m), Ops: ir.CountOps(m),
-			Ifs: ir.CountIfs(m), Loops: ir.CountLoops(m),
-			Calls: ir.CountCalls(m), Funcs: len(p.Funcs),
-		})
-	}
-
-	passes, err := buildPasses(opt)
+	fa, err := Frontend(input, opt.FrontendOptions())
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	pl := &pass.Pipeline{Passes: passes, MaxRounds: opt.CustomRounds, Observer: observer}
-	if err := pl.Run(work); err != nil {
-		return nil, fmt.Errorf("core: transform: %w", err)
-	}
-	res.PassStats = pl.Stats()
-	res.Rounds = pl.Rounds()
-	if err := ir.Validate(work); err != nil {
-		return nil, fmt.Errorf("core: transformed program invalid: %w", err)
-	}
-	main := work.Main()
-	if main == nil {
-		return nil, fmt.Errorf("core: program has no main function")
-	}
-	if ir.CountCalls(main) > 0 {
-		return nil, fmt.Errorf("core: calls survive transformation (recursive or non-inlinable)")
-	}
-
-	g, err := htg.Lower(work, main)
+	// The artifact is private to this call, so the midend may consume
+	// its program without the defensive clone shared artifacts need.
+	ma, err := midend(fa.Program, fa, opt.MidendOptions())
 	if err != nil {
-		return nil, fmt.Errorf("core: lower: %w", err)
+		return nil, err
 	}
-	res.Graph = g
-
-	cfg := schedConfig(opt, g)
-	s, err := sched.Schedule(g, cfg)
+	ba, err := Backend(ma, opt.BackendOptions())
 	if err != nil {
-		return nil, fmt.Errorf("core: schedule: %w", err)
+		return nil, err
 	}
-	res.Schedule = s
-	res.Cycles = s.NumStates
-
-	m, err := rtl.Build(s)
-	if err != nil {
-		return nil, fmt.Errorf("core: rtl: %w", err)
-	}
-	res.Module = m
-	res.Stats = m.Stats(opt.Model)
-	return res, nil
-}
-
-func buildPasses(opt Options) ([]transform.Pass, error) {
-	if len(opt.CustomPasses) > 0 {
-		return opt.CustomPasses, nil
-	}
-	return pass.BuildAll(opt.PassSpecs())
-}
-
-func schedConfig(opt Options, g *htg.Graph) sched.Config {
-	cfg := sched.Config{Model: opt.Model, DepOpts: dfa.DefaultOptions(),
-		DisableChaining: opt.NoChaining}
-	switch opt.Preset {
-	case MicroprocessorBlock:
-		cfg.Mode = sched.ModeChain
-		cfg.Resources = sched.Unlimited()
-		// A design that kept loops (NoUnroll ablation or unbounded
-		// loops) cannot flatten: fall back to sequential control.
-		if g.HasLoops() {
-			cfg.Mode = sched.ModeSequential
-		}
-	case ClassicalASIC:
-		cfg.Mode = sched.ModeSequential
-		cfg.Resources = sched.Classical()
-	}
-	if opt.Resources != nil {
-		cfg.Resources = *opt.Resources
-	}
-	return cfg
+	return &Result{
+		Input:     input,
+		Program:   ma.Program,
+		Graph:     ma.Graph,
+		Schedule:  ma.Schedule,
+		Module:    ba.Module,
+		Stages:    fa.Stages,
+		PassStats: fa.PassStats,
+		Rounds:    fa.Rounds,
+		Stats:     ba.Stats,
+		Cycles:    ma.Cycles,
+		Preset:    opt.Preset,
+	}, nil
 }

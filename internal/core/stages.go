@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparkgo/internal/delay"
+	"sparkgo/internal/dfa"
+	"sparkgo/internal/htg"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/pass"
+	"sparkgo/internal/rtl"
+	"sparkgo/internal/sched"
+	"sparkgo/internal/transform"
+)
+
+// Stage versions participate in every artifact key. Bump a version when
+// the corresponding stage's behavior changes in a way that invalidates
+// previously computed artifacts (a new pass semantics, a scheduler fix,
+// a netlist layout change); cached artifacts keyed under the old version
+// then miss instead of serving stale results.
+const (
+	// FrontendVersion keys transformed-IR artifacts.
+	FrontendVersion = 1
+	// MidendVersion keys HTG/schedule artifacts.
+	MidendVersion = 1
+	// BackendVersion keys netlist/stats artifacts.
+	BackendVersion = 1
+)
+
+// FrontendOptions is the subset of Options the frontend stage reads: the
+// pass list and the fixpoint bound. Nothing about presets, delay models,
+// resources, or chaining reaches the frontend, which is exactly why
+// configurations differing only in those back-end knobs can share one
+// frontend artifact.
+type FrontendOptions struct {
+	// Passes is the ordered pass list in internal/pass spec syntax.
+	Passes []string
+	// Rounds bounds fixed-point iteration (0 = pass.DefaultMaxRounds).
+	Rounds int
+	// CustomPasses, when non-empty, replaces Passes with pre-built
+	// opaque passes (synthesis scripts). Opaque passes have no spec
+	// text to hash, so the stage key is empty and the artifact is not
+	// cacheable by input — its output fingerprint still is.
+	CustomPasses []transform.Pass
+}
+
+// canonical renders the option fields that affect frontend output. The
+// pass join escapes ";" inside specs so two distinct lists can never
+// render — and therefore key — identically.
+func (o FrontendOptions) canonical() string {
+	esc := make([]string, len(o.Passes))
+	for i, s := range o.Passes {
+		s = strings.ReplaceAll(s, `\`, `\\`)
+		esc[i] = strings.ReplaceAll(s, ";", `\;`)
+	}
+	return fmt.Sprintf("passes=[%s] rounds=%d", strings.Join(esc, "; "), o.Rounds)
+}
+
+// FrontendKey composes the frontend stage key from the input program's
+// content fingerprint and the options. Empty when the options carry
+// opaque CustomPasses (nothing stable to hash).
+func FrontendKey(input *ir.Program, o FrontendOptions) string {
+	return FrontendKeyFrom(ir.Fingerprint(input), o)
+}
+
+// FrontendKeyFrom is FrontendKey for callers that already hold the input
+// fingerprint (the exploration engine memoizes fingerprints per source).
+func FrontendKeyFrom(inputFingerprint string, o FrontendOptions) string {
+	if len(o.CustomPasses) > 0 {
+		return ""
+	}
+	return ir.HashText(fmt.Sprintf("frontend/v%d|src=%s|%s",
+		FrontendVersion, inputFingerprint, o.canonical()))
+}
+
+// FrontendArtifact is the output of the frontend stage: the transformed
+// program plus everything the reporting layers want to know about how it
+// got there. The Program field must be treated as read-only — artifacts
+// are shared between configurations in a sweep, and Midend clones before
+// lowering.
+type FrontendArtifact struct {
+	Program *ir.Program // transformed program; treat as immutable
+	// Source is the canonical printed form of Program — the
+	// human-readable rendering carried alongside the artifact. Empty
+	// until Materialize runs; the one-shot Synthesize path never pays
+	// for it.
+	Source string
+	// Fingerprint is ir.Fingerprint of Program: the artifact's content
+	// identity, independent of which pass list produced it. Empty until
+	// Materialize runs.
+	Fingerprint string
+	// Key is the stage key H(input fingerprint, options, version).
+	// Frontend itself leaves it empty — computing it would hash the
+	// input a second time, and the one-shot Synthesize path never reads
+	// it; callers that computed it (FrontendKey/FrontendKeyFrom, as the
+	// exploration engine does) stamp it on the artifact themselves.
+	Key       string
+	Stages    []StageMetrics
+	PassStats []pass.Stat
+	Rounds    int
+}
+
+// Materialize computes and stores the artifact's canonical Source and
+// content Fingerprint, returning the lossless program encoding the
+// fingerprint hashes (nil if the program failed to encode) so callers
+// persisting the artifact can reuse it instead of encoding again. Call
+// it from the goroutine that created the artifact, before sharing it;
+// Synthesize never calls it, keeping the one-shot path free of
+// serialization cost.
+func (fa *FrontendArtifact) Materialize() []byte {
+	fa.Source = ir.Print(fa.Program)
+	enc, err := ir.EncodeProgram(fa.Program)
+	if err != nil {
+		// Mirror ir.Fingerprint's fallback for unencodable programs.
+		fa.Fingerprint = ir.HashText("unencodable|" + fa.Source)
+		return nil
+	}
+	fa.Fingerprint = ir.FingerprintBytes(enc)
+	return enc
+}
+
+// Frontend runs the transformation stage: clone the input, drive the
+// pass pipeline to a fixed point, validate, and fingerprint the result.
+func Frontend(input *ir.Program, o FrontendOptions) (*FrontendArtifact, error) {
+	passes := o.CustomPasses
+	if len(passes) == 0 {
+		var err error
+		passes, err = pass.BuildAll(o.Passes)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	work := ir.CloneProgram(input)
+	fa := &FrontendArtifact{Program: work}
+
+	observer := func(pass string, changed bool, p *ir.Program) {
+		m := p.Main()
+		if m == nil {
+			return
+		}
+		fa.Stages = append(fa.Stages, StageMetrics{
+			Pass: pass, Changed: changed,
+			Stmts: ir.CountStmts(m), Ops: ir.CountOps(m),
+			Ifs: ir.CountIfs(m), Loops: ir.CountLoops(m),
+			Calls: ir.CountCalls(m), Funcs: len(p.Funcs),
+		})
+	}
+	pl := &pass.Pipeline{Passes: passes, MaxRounds: o.Rounds, Observer: observer}
+	if err := pl.Run(work); err != nil {
+		return nil, fmt.Errorf("core: transform: %w", err)
+	}
+	fa.PassStats = pl.Stats()
+	fa.Rounds = pl.Rounds()
+	if err := ir.Validate(work); err != nil {
+		return nil, fmt.Errorf("core: transformed program invalid: %w", err)
+	}
+	return fa, nil
+}
+
+// MidendOptions is the subset of Options the midend stage reads: the
+// scheduling regime. The delay model matters here because the chaining
+// test compares accumulated path delay against the clock period.
+type MidendOptions struct {
+	Preset     Preset
+	Model      *delay.Model     // nil: delay.Default()
+	Resources  *sched.Resources // nil: preset default
+	NoChaining bool
+}
+
+func (o MidendOptions) model() *delay.Model {
+	if o.Model == nil {
+		return delay.Default()
+	}
+	return o.Model
+}
+
+// canonical renders the option fields that affect midend output.
+func (o MidendOptions) canonical() string {
+	var b strings.Builder
+	m := o.model()
+	fmt.Fprintf(&b, "preset=%s nand=%g clock=%g", o.Preset, m.NandDelay, m.ClockPeriod)
+	if o.NoChaining {
+		b.WriteString(" nochain")
+	}
+	if r := o.Resources; r != nil {
+		if r.Unlimited {
+			b.WriteString(" res=unlimited")
+		} else {
+			classes := make([]int, 0, len(r.Counts))
+			for c := range r.Counts {
+				classes = append(classes, int(c))
+			}
+			sort.Ints(classes)
+			b.WriteString(" res={")
+			for i, c := range classes {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%s:%d", sched.Class(c), r.Counts[sched.Class(c)])
+			}
+			b.WriteString("}")
+		}
+	}
+	return b.String()
+}
+
+// MidendKey composes the midend stage key from the frontend artifact's
+// content fingerprint — not its stage key, so two pass lists that happen
+// to produce the same transformed program share midend work too. Empty
+// when the artifact was never materialized (the one-shot flow).
+func MidendKey(fa *FrontendArtifact, o MidendOptions) string {
+	if fa.Fingerprint == "" {
+		return ""
+	}
+	return ir.HashText(fmt.Sprintf("midend/v%d|fe=%s|%s",
+		MidendVersion, fa.Fingerprint, o.canonical()))
+}
+
+// MidendArtifact is the output of the midend stage: the hierarchical
+// task graph and its schedule, plus the private program clone they
+// reference.
+type MidendArtifact struct {
+	Program  *ir.Program // midend's own clone; Graph/Schedule reference its vars
+	Graph    *htg.Graph
+	Schedule *sched.Result
+	Cycles   int
+	Key      string
+}
+
+// Midend runs the scheduling stage: clone the frontend artifact's
+// program (artifacts are shared across configurations, so the stage must
+// not mutate its input), lower to the HTG, and schedule under the
+// regime the options select.
+func Midend(fa *FrontendArtifact, o MidendOptions) (*MidendArtifact, error) {
+	return midend(ir.CloneProgram(fa.Program), fa, o)
+}
+
+// midend is Midend on a program the caller owns outright. Synthesize
+// uses it to skip the defensive clone: its artifact is private to the
+// call, so lowering may consume it in place.
+func midend(work *ir.Program, fa *FrontendArtifact, o MidendOptions) (*MidendArtifact, error) {
+	main := work.Main()
+	if main == nil {
+		return nil, fmt.Errorf("core: program has no main function")
+	}
+	if ir.CountCalls(main) > 0 {
+		return nil, fmt.Errorf("core: calls survive transformation (recursive or non-inlinable)")
+	}
+	g, err := htg.Lower(work, main)
+	if err != nil {
+		return nil, fmt.Errorf("core: lower: %w", err)
+	}
+	s, err := sched.Schedule(g, o.schedConfig(g))
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule: %w", err)
+	}
+	return &MidendArtifact{
+		Program: work, Graph: g, Schedule: s,
+		Cycles: s.NumStates, Key: MidendKey(fa, o),
+	}, nil
+}
+
+func (o MidendOptions) schedConfig(g *htg.Graph) sched.Config {
+	cfg := sched.Config{Model: o.model(), DepOpts: dfa.DefaultOptions(),
+		DisableChaining: o.NoChaining}
+	switch o.Preset {
+	case MicroprocessorBlock:
+		cfg.Mode = sched.ModeChain
+		cfg.Resources = sched.Unlimited()
+		// A design that kept loops (NoUnroll ablation or unbounded
+		// loops) cannot flatten: fall back to sequential control.
+		if g.HasLoops() {
+			cfg.Mode = sched.ModeSequential
+		}
+	case ClassicalASIC:
+		cfg.Mode = sched.ModeSequential
+		cfg.Resources = sched.Classical()
+	}
+	if o.Resources != nil {
+		cfg.Resources = *o.Resources
+	}
+	return cfg
+}
+
+// BackendOptions is the subset of Options the backend stage reads: only
+// the technology model the area/delay report is evaluated under.
+type BackendOptions struct {
+	Model *delay.Model // nil: delay.Default()
+}
+
+func (o BackendOptions) model() *delay.Model {
+	if o.Model == nil {
+		return delay.Default()
+	}
+	return o.Model
+}
+
+// BackendKey composes the backend stage key from the midend artifact key
+// and the backend options.
+func BackendKey(ma *MidendArtifact, o BackendOptions) string {
+	if ma.Key == "" {
+		return ""
+	}
+	m := o.model()
+	return ir.HashText(fmt.Sprintf("backend/v%d|me=%s|nand=%g clock=%g",
+		BackendVersion, ma.Key, m.NandDelay, m.ClockPeriod))
+}
+
+// BackendArtifact is the output of the backend stage: the bound RTL
+// netlist and its technology report.
+type BackendArtifact struct {
+	Module *rtl.Module
+	Stats  delay.Report
+	Key    string
+}
+
+// Backend runs the binding/netlist stage on a scheduled design.
+func Backend(ma *MidendArtifact, o BackendOptions) (*BackendArtifact, error) {
+	m, err := rtl.Build(ma.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("core: rtl: %w", err)
+	}
+	return &BackendArtifact{
+		Module: m, Stats: m.Stats(o.model()), Key: BackendKey(ma, o),
+	}, nil
+}
+
+// FrontendOptions projects the option fields the frontend stage reads.
+func (o Options) FrontendOptions() FrontendOptions {
+	return FrontendOptions{
+		Passes:       o.PassSpecs(),
+		Rounds:       o.CustomRounds,
+		CustomPasses: o.CustomPasses,
+	}
+}
+
+// MidendOptions projects the option fields the midend stage reads.
+func (o Options) MidendOptions() MidendOptions {
+	return MidendOptions{
+		Preset:     o.Preset,
+		Model:      o.Model,
+		Resources:  o.Resources,
+		NoChaining: o.NoChaining,
+	}
+}
+
+// BackendOptions projects the option fields the backend stage reads.
+func (o Options) BackendOptions() BackendOptions {
+	return BackendOptions{Model: o.Model}
+}

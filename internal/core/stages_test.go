@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
+)
+
+// TestStagedMatchesSynthesize checks that driving the three stages by
+// hand produces exactly the design Synthesize produces — same schedule
+// depth, same netlist text, same report.
+func TestStagedMatchesSynthesize(t *testing.T) {
+	for _, opt := range []core.Options{
+		{Preset: core.MicroprocessorBlock},
+		{Preset: core.ClassicalASIC},
+		{Preset: core.MicroprocessorBlock, NoChaining: true, MaxUnroll: 8},
+	} {
+		p := ild.Program(4)
+		mono, err := core.Synthesize(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, err := core.Frontend(p, opt.FrontendOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, err := core.Midend(fa, opt.MidendOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := core.Backend(ma, opt.BackendOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ma.Cycles != mono.Cycles {
+			t.Errorf("%+v: staged cycles %d != monolithic %d", opt, ma.Cycles, mono.Cycles)
+		}
+		if ba.Stats != mono.Stats {
+			t.Errorf("%+v: staged stats %+v != monolithic %+v", opt, ba.Stats, mono.Stats)
+		}
+		if rtl.EmitVerilog(ba.Module) != rtl.EmitVerilog(mono.Module) {
+			t.Errorf("%+v: staged netlist diverges from monolithic flow", opt)
+		}
+	}
+}
+
+// TestFrontendKeyReadsOnlyFrontendFields pins the artifact-key contract:
+// back-end knobs must not perturb the frontend key (that is what lets a
+// sweep share frontend runs), while every frontend-relevant field must.
+func TestFrontendKeyReadsOnlyFrontendFields(t *testing.T) {
+	p := ild.Program(4)
+	base := core.Options{Preset: core.MicroprocessorBlock}
+	key := core.FrontendKey(p, base.FrontendOptions())
+	if key == "" {
+		t.Fatal("empty frontend key for hashable options")
+	}
+
+	// Back-end knobs: key must be identical.
+	for name, o := range map[string]core.Options{
+		"nochaining": {Preset: core.MicroprocessorBlock, NoChaining: true},
+		"model":      {Preset: core.MicroprocessorBlock, Model: nil},
+	} {
+		if k := core.FrontendKey(p, o.FrontendOptions()); k != key {
+			t.Errorf("%s changed the frontend key", name)
+		}
+	}
+
+	// Frontend-relevant changes: key must differ.
+	for name, o := range map[string]core.Options{
+		"preset-plan": {Preset: core.ClassicalASIC},
+		"nospec":      {Preset: core.MicroprocessorBlock, NoSpeculation: true},
+		"maxunroll":   {Preset: core.MicroprocessorBlock, MaxUnroll: 2},
+		"rounds":      {Preset: core.MicroprocessorBlock, CustomRounds: 1},
+		"passes":      {Passes: []string{"inline", "dce"}},
+	} {
+		if k := core.FrontendKey(p, o.FrontendOptions()); k == key {
+			t.Errorf("%s did not change the frontend key", name)
+		}
+	}
+
+	// A different source must change the key too.
+	if k := core.FrontendKey(ild.Program(5), base.FrontendOptions()); k == key {
+		t.Error("different source, same frontend key")
+	}
+	// Same content, different pointer: identical key (content hashing).
+	if k := core.FrontendKey(ild.Program(4), base.FrontendOptions()); k != key {
+		t.Error("identical source content produced a different frontend key")
+	}
+}
+
+// TestMidendKeysOnArtifactContent checks midend keys derive from the
+// frontend artifact's content fingerprint plus midend options only.
+func TestMidendKeysOnArtifactContent(t *testing.T) {
+	p := ild.Program(4)
+	opt := core.Options{Preset: core.MicroprocessorBlock}
+	fa, err := core.Frontend(p, opt.FrontendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := core.MidendKey(fa, opt.MidendOptions()); k != "" {
+		t.Fatalf("midend key %q before materialization, want empty", k)
+	}
+	fa.Materialize()
+	base := core.MidendKey(fa, opt.MidendOptions())
+	if base == "" {
+		t.Fatal("empty midend key after materialization")
+	}
+	nochain := core.Options{Preset: core.MicroprocessorBlock, NoChaining: true}
+	if k := core.MidendKey(fa, nochain.MidendOptions()); k == base {
+		t.Error("chaining switch did not change the midend key")
+	}
+	classical := core.Options{Preset: core.ClassicalASIC}
+	if k := core.MidendKey(fa, classical.MidendOptions()); k == base {
+		t.Error("preset did not change the midend key")
+	}
+}
+
+// TestMidendDoesNotMutateArtifact: frontend artifacts are shared across
+// configurations, so scheduling one configuration must not change the
+// artifact another is about to consume.
+func TestMidendDoesNotMutateArtifact(t *testing.T) {
+	fa, err := core.Frontend(ild.Program(4),
+		core.Options{Preset: core.MicroprocessorBlock}.FrontendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Materialize()
+	before := ir.Fingerprint(fa.Program)
+	if before != fa.Fingerprint {
+		t.Fatalf("artifact fingerprint %s does not match its program", fa.Fingerprint)
+	}
+	for _, opt := range []core.Options{
+		{Preset: core.MicroprocessorBlock},
+		{Preset: core.ClassicalASIC},
+	} {
+		if _, err := core.Midend(fa, opt.MidendOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := ir.Fingerprint(fa.Program); after != before {
+		t.Fatal("Midend mutated the shared frontend artifact")
+	}
+}
+
+// TestFrontendArtifactSelfConsistency: the artifact's Source must be
+// the canonical print of its program and the fingerprint its content
+// hash.
+func TestFrontendArtifactSelfConsistency(t *testing.T) {
+	fa, err := core.Frontend(ild.Program(3),
+		core.Options{Preset: core.MicroprocessorBlock}.FrontendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Source != "" || fa.Fingerprint != "" {
+		t.Error("Frontend paid for content identity the one-shot path never reads")
+	}
+	enc := fa.Materialize()
+	if fa.Source != ir.Print(fa.Program) {
+		t.Error("artifact Source is not the canonical print of its program")
+	}
+	if ir.Fingerprint(fa.Program) != fa.Fingerprint {
+		t.Error("artifact fingerprint is not the content hash of its program")
+	}
+	if enc == nil || ir.FingerprintBytes(enc) != fa.Fingerprint {
+		t.Error("Materialize's returned encoding does not hash to the fingerprint")
+	}
+	if fa.Rounds < 1 || len(fa.PassStats) == 0 {
+		t.Errorf("artifact metadata incomplete: rounds=%d stats=%d",
+			fa.Rounds, len(fa.PassStats))
+	}
+}

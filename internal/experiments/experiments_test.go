@@ -37,4 +37,6 @@ func TestAllExperiments(t *testing.T) {
 	run("Ablations", tb, err)
 	tb, err = E15Exploration(0)
 	run("E15", tb, err)
+	tb, err = E16PassOrder(8, 0)
+	run("E16", tb, err)
 }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"sparkgo/internal/core"
 	"sparkgo/internal/explore"
@@ -63,6 +65,75 @@ func E15Exploration(workers int) (*report.Table, error) {
 	if len(front) < 2 {
 		return t, fmt.Errorf("E15: frontier collapsed to %d point(s); no latency/area trade-off found",
 			len(front))
+	}
+	return t, nil
+}
+
+// E16PassOrder sweeps the pass-order axis (the ROADMAP follow-up to
+// E15): every ordering of the four parallelizing "motion" passes —
+// speculation, unrolling, constant propagation, CSE — embedded in the
+// fixed inline prologue and cleanup epilogue, and reports which
+// orderings reach the 1-cycle design and at what area and fixpoint
+// cost. The paper's claim is that the transformations pay off in
+// coordination, not in any one magic order; the fixpoint pipeline
+// should therefore reach the single-cycle design from every ordering,
+// with order showing up as area/rounds variation rather than a latency
+// cliff. workers <= 0 uses one worker per CPU.
+func E16PassOrder(n, workers int) (*report.Table, error) {
+	motions := []string{"speculate", "unroll all full", "constprop", "cse"}
+	var orders [][]string
+	for _, m := range explore.PermutePasses(motions, 0) {
+		full := append([]string{"inline", "drop-uncalled"}, m...)
+		full = append(full, "constfold", "copyprop", "dce")
+		orders = append(orders, full)
+	}
+	space := explore.PassOrderGrid(n, orders)
+	eng := &explore.Engine{Workers: workers}
+	pts := eng.Sweep(space)
+
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.Latency != pb.Latency {
+			return pa.Latency < pb.Latency
+		}
+		if pa.Area != pb.Area {
+			return pa.Area < pb.Area
+		}
+		if pa.Rounds != pb.Rounds {
+			return pa.Rounds < pb.Rounds
+		}
+		return idx[a] < idx[b]
+	})
+
+	t := report.New(fmt.Sprintf("E16: pass-order sweep (%d orderings, n=%d)", len(space), n),
+		"rank", "motion-pass order", "latency", "area", "rounds")
+	oneCycle, failed := 0, 0
+	for rank, i := range idx {
+		p := pts[i]
+		if p.Err != "" {
+			failed++
+			t.Add(rank+1, strings.Join(orders[i][2:2+len(motions)], " → "), "FAILED", 0.0, 0)
+			continue
+		}
+		if p.Latency == 1 {
+			oneCycle++
+		}
+		t.Add(rank+1, strings.Join(orders[i][2:2+len(motions)], " → "),
+			p.Latency, p.Area, p.Rounds)
+	}
+	if failed > 0 {
+		return t, fmt.Errorf("E16: %d of %d orderings failed to synthesize", failed, len(space))
+	}
+	if best := pts[idx[0]]; best.Latency != 1 {
+		return t, fmt.Errorf("E16: no ordering reached the 1-cycle design (best: %d cycles)",
+			best.Latency)
+	}
+	if oneCycle == 0 {
+		return t, fmt.Errorf("E16: zero single-cycle orderings")
 	}
 	return t, nil
 }

@@ -1,15 +1,24 @@
 // Package explore is the design-space exploration engine the paper's
 // methodology calls for: the coordinated transformations (speculation,
 // chaining across conditionals, unrolling) beat any fixed ordering only
-// when the designer can sweep configurations quickly, so this package
-// turns one synthesis flow into a concurrent search over
-// (preset × pass toggles × unroll bounds × ILD buffer sizes).
+// when the designer can sweep many configurations quickly, so this
+// package turns the staged synthesis flow of internal/core into a
+// concurrent, memoized search over
+// (source program × pass list × preset × toggles × unroll bounds × scale).
 //
-// An Engine shards a configuration space over a worker pool, memoizes
-// completed syntheses behind a config-hash cache (repeat sweeps and
-// overlapping grids hit the cache instead of re-synthesizing), and the
-// frontier helpers reduce the resulting point cloud to the best-cycle /
-// best-area Pareto set the designer actually reads.
+// Memoization is stage-granular, keyed on the artifact hashes of the
+// staged flow: configurations sharing a (source, pass-list) prefix reuse
+// one frontend run — the transformation pipeline executes exactly once
+// per unique (source fingerprint, pass list, rounds) triple — and only
+// the midend/backend re-run per back-end knob. A fully evaluated
+// configuration is additionally memoized as a Point.
+//
+// Setting CacheDir adds a disk layer (internal/cache): frontend
+// artifacts and evaluated points are gob-encoded under the cache
+// directory, keyed by the same hashes with versioned invalidation, so
+// sweeps survive process restarts and many processes can share one
+// cache. The frontier helpers reduce the resulting point cloud to the
+// best-cycle / best-area Pareto set the designer actually reads.
 package explore
 
 import (
@@ -23,17 +32,23 @@ import (
 	"sync/atomic"
 
 	"sparkgo/internal/core"
-	"sparkgo/internal/ild"
 	"sparkgo/internal/interp"
 	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
 	"sparkgo/internal/rtlsim"
 )
 
-// Config is one point in the design space: a source scale (the ILD buffer
-// size) plus a synthesis configuration.
+// Config is one point in the design space: a source program (a named
+// entry in the engine's source table, or the built-in generator at scale
+// N) plus a synthesis configuration.
 type Config struct {
+	// Source names the program this config synthesizes: a key into the
+	// engine's Sources table (user programs parsed from files). Empty
+	// selects the engine's generator — the ILD behavioral description —
+	// at scale N.
+	Source string
 	// N is the source scale parameter (ILD buffer size for the default
-	// source generator).
+	// source generator; ignored by named sources).
 	N int
 	// Preset selects the synthesis regime.
 	Preset core.Preset
@@ -72,6 +87,9 @@ func (c Config) Options() core.Options {
 // match.
 func (c Config) String() string {
 	var b strings.Builder
+	if c.Source != "" {
+		fmt.Fprintf(&b, "src=%s ", c.Source)
+	}
 	fmt.Fprintf(&b, "n=%d preset=%s", c.N, c.Preset)
 	for _, t := range []struct {
 		on   bool
@@ -89,12 +107,24 @@ func (c Config) String() string {
 		fmt.Fprintf(&b, " maxunroll=%d", c.MaxUnroll)
 	}
 	if len(c.Passes) > 0 {
-		fmt.Fprintf(&b, " passes=[%s]", strings.Join(c.Passes, "; "))
+		fmt.Fprintf(&b, " passes=[%s]", joinSpecs(c.Passes))
 	}
 	if c.Rounds > 0 {
 		fmt.Fprintf(&b, " rounds=%d", c.Rounds)
 	}
 	return b.String()
+}
+
+// joinSpecs renders a pass list unambiguously: any ";" inside a spec is
+// escaped before joining on "; ", so two distinct lists can never render
+// identically (the canonical string is a cache key; see Config.String).
+func joinSpecs(specs []string) string {
+	esc := make([]string, len(specs))
+	for i, s := range specs {
+		s = strings.ReplaceAll(s, `\`, `\\`)
+		esc[i] = strings.ReplaceAll(s, ";", `\;`)
+	}
+	return strings.Join(esc, "; ")
 }
 
 // Key is the 64-bit FNV-1a hash of the canonical string: a compact
@@ -120,62 +150,118 @@ type Point struct {
 	Err      string // non-empty when synthesis failed; metrics are zero
 }
 
-// Engine evaluates configuration spaces over a worker pool with a
-// config-hash memoization cache. The zero value is ready to use; the
-// cache persists across sweeps, so overlapping spaces only synthesize new
-// configurations.
+// Stats is the engine's cumulative cache accounting, split per layer.
+// For each cache the three counters partition lookups: served from
+// memory, served from disk, or computed by running the stage.
+type Stats struct {
+	// Point cache: fully evaluated configurations.
+	PointMemHits  int64
+	PointDiskHits int64
+	PointComputed int64
+	// Frontend stage cache: transformed-IR artifacts shared by every
+	// configuration with the same (source, pass list, rounds).
+	FrontendMemHits  int64
+	FrontendDiskHits int64
+	FrontendComputed int64
+	// DiskErrors counts disk-layer failures that were absorbed by
+	// falling back to computation (the sweep itself never fails on a
+	// bad cache).
+	DiskErrors int64
+}
+
+// Engine evaluates configuration spaces over a worker pool with
+// stage-granular memoization. The zero value is ready to use; caches
+// persist across sweeps, so overlapping spaces only synthesize new
+// configurations, and configurations differing only in back-end knobs
+// share one frontend run.
 type Engine struct {
 	// Workers bounds sweep concurrency (0 = GOMAXPROCS).
 	Workers int
 	// Source generates the program for a config's scale parameter
-	// (nil = the ILD behavioral description, ild.Program).
+	// (nil = the ILD behavioral description, ild.Program). Used by
+	// configs with an empty Source name.
 	Source func(n int) *ir.Program
+	// Sources maps source names to parsed user programs; a config
+	// selects one by name. This is the multi-program batching axis:
+	// one sweep may span many sources.
+	Sources map[string]*ir.Program
 	// SimTrials, when positive, measures per-activation latency by
 	// cycle-accurate simulation on that many random stimulus vectors
 	// (seeded from the config hash, so results are deterministic).
 	// Zero reports the FSM state count as the latency.
 	SimTrials int
+	// CacheDir, when non-empty, backs the memoization caches with
+	// gob-encoded artifacts on disk (see internal/cache) so sweeps
+	// survive process restarts. Disk failures degrade to computation
+	// and are counted in Stats.DiskErrors.
+	CacheDir string
 
 	mu sync.Mutex
-	// cache is keyed on the canonical config string rather than its
+	// points is keyed on the canonical config string rather than its
 	// 64-bit hash, so a hash collision can never alias two configs.
-	cache  map[string]*entry
-	hits   atomic.Int64
-	misses atomic.Int64
+	points map[string]*pointEntry
+	// fronts memoizes frontend artifacts by stage key.
+	fronts map[string]*frontEntry
+	// sources memoizes resolved programs and their fingerprints per
+	// source identity ("src=<name>" or "n=<scale>").
+	sources map[string]*sourceEntry
+	disk    diskLayer
+
+	pointMemHits     atomic.Int64
+	pointDiskHits    atomic.Int64
+	pointComputed    atomic.Int64
+	frontendMemHits  atomic.Int64
+	frontendDiskHits atomic.Int64
+	frontendComputed atomic.Int64
+	diskErrors       atomic.Int64
 }
 
-type entry struct {
+type pointEntry struct {
 	once sync.Once
 	pt   Point
 }
 
-// Evaluate synthesizes one configuration, serving repeats from the cache.
-// Concurrent callers of the same configuration synthesize once and share
-// the result.
+// Evaluate synthesizes one configuration, serving repeats from the
+// caches. Concurrent callers of the same configuration synthesize once
+// and share the result.
 func (e *Engine) Evaluate(c Config) Point {
 	key := c.String()
 	e.mu.Lock()
-	if e.cache == nil {
-		e.cache = map[string]*entry{}
+	if e.points == nil {
+		e.points = map[string]*pointEntry{}
 	}
-	en, cached := e.cache[key]
+	en, cached := e.points[key]
 	if !cached {
-		en = &entry{}
-		e.cache[key] = en
+		en = &pointEntry{}
+		e.points[key] = en
 	}
 	e.mu.Unlock()
 	if cached {
-		e.hits.Add(1)
-	} else {
-		e.misses.Add(1)
+		e.pointMemHits.Add(1)
 	}
-	en.once.Do(func() { en.pt = e.evaluate(c) })
+	en.once.Do(func() { en.pt = e.computePoint(c) })
 	return en.pt
 }
 
-// CacheStats reports cumulative cache hits and misses across sweeps.
+// Stats reports the engine's cumulative cache statistics across sweeps.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		PointMemHits:     e.pointMemHits.Load(),
+		PointDiskHits:    e.pointDiskHits.Load(),
+		PointComputed:    e.pointComputed.Load(),
+		FrontendMemHits:  e.frontendMemHits.Load(),
+		FrontendDiskHits: e.frontendDiskHits.Load(),
+		FrontendComputed: e.frontendComputed.Load(),
+		DiskErrors:       e.diskErrors.Load(),
+	}
+}
+
+// CacheStats reports cumulative point-cache hits and misses across
+// sweeps: hits are lookups served from memory, misses everything else
+// (disk hits and computed points).
 func (e *Engine) CacheStats() (hits, misses int64) {
-	return e.hits.Load(), e.misses.Load()
+	s := e.Stats()
+	return s.PointMemHits, s.PointDiskHits + s.PointComputed
 }
 
 // EffectiveWorkers reports the worker-pool size a sweep over n
@@ -224,26 +310,67 @@ func (e *Engine) Sweep(space []Config) []Point {
 	return out
 }
 
-func (e *Engine) evaluate(c Config) Point {
-	pt := Point{Config: c}
-	src := e.Source
-	if src == nil {
-		src = ild.Program
+// computePoint resolves a point-cache miss: disk first, then the staged
+// synthesis flow, persisting the result for the next process.
+func (e *Engine) computePoint(c Config) Point {
+	src, err := e.resolveSource(c)
+	if err != nil {
+		e.pointComputed.Add(1)
+		return Point{Config: c, Err: err.Error()}
 	}
-	res, err := core.Synthesize(src(c.N), c.Options())
+	d := e.diskStore()
+	pk := ""
+	if d != nil {
+		pk = e.pointDiskKey(c, src.fingerprint)
+		var pt Point
+		ok, err := d.Get(kindPoint, pk, &pt)
+		if err != nil {
+			e.diskErrors.Add(1)
+		} else if ok {
+			e.pointDiskHits.Add(1)
+			return pt
+		}
+	}
+	pt := e.synthesize(c, src)
+	e.pointComputed.Add(1)
+	if d != nil {
+		if err := d.Put(kindPoint, pk, pt); err != nil {
+			e.diskErrors.Add(1)
+		}
+	}
+	return pt
+}
+
+// synthesize evaluates one configuration through the staged flow,
+// sharing the frontend artifact with every other configuration on the
+// same (source, pass list).
+func (e *Engine) synthesize(c Config, src *sourceEntry) Point {
+	pt := Point{Config: c}
+	opt := c.Options()
+	fa, err := e.frontend(src, opt.FrontendOptions())
 	if err != nil {
 		pt.Err = err.Error()
 		return pt
 	}
-	pt.Cycles = res.Cycles
-	pt.Latency = res.Cycles
-	pt.CritPath = res.Stats.CriticalPath
-	pt.Area = res.Stats.Area
-	pt.Muxes = res.Stats.Muxes
-	pt.FUs = res.Stats.FUs
-	pt.Rounds = res.Rounds
+	ma, err := core.Midend(fa, opt.MidendOptions())
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	ba, err := core.Backend(ma, opt.BackendOptions())
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	pt.Cycles = ma.Cycles
+	pt.Latency = ma.Cycles
+	pt.CritPath = ba.Stats.CriticalPath
+	pt.Area = ba.Stats.Area
+	pt.Muxes = ba.Stats.Muxes
+	pt.FUs = ba.Stats.FUs
+	pt.Rounds = fa.Rounds
 	if e.SimTrials > 0 {
-		lat, err := e.simulate(res, c)
+		lat, err := e.simulate(src.prog, ba.Module, c)
 		if err != nil {
 			pt.Err = err.Error()
 			return pt
@@ -255,13 +382,13 @@ func (e *Engine) evaluate(c Config) Point {
 
 // simulate measures the worst per-activation cycle count over SimTrials
 // random stimulus vectors, seeded from the config hash for determinism.
-func (e *Engine) simulate(res *core.Result, c Config) (int, error) {
+func (e *Engine) simulate(input *ir.Program, mod *rtl.Module, c Config) (int, error) {
 	rng := rand.New(rand.NewSource(int64(c.Key())))
 	max := 0
 	for trial := 0; trial < e.SimTrials; trial++ {
-		env := interp.RandomEnv(res.Input, rng)
-		sim := rtlsim.New(res.Module)
-		if err := sim.LoadEnv(res.Input, env); err != nil {
+		env := interp.RandomEnv(input, rng)
+		sim := rtlsim.New(mod)
+		if err := sim.LoadEnv(input, env); err != nil {
 			return 0, err
 		}
 		cycles, err := sim.Run(1 << 22)
@@ -302,24 +429,47 @@ func Variants() []Variant {
 // (sizes × variants × unroll bounds) in the microprocessor-block regime,
 // optionally adding the classical-ASIC baseline per size.
 func Grid(sizes []int, variants []Variant, maxUnrolls []int, includeClassical bool) []Config {
+	var space []Config
+	for _, n := range sizes {
+		space = append(space, gridFor(Config{N: n}, variants, maxUnrolls, includeClassical)...)
+	}
+	return space
+}
+
+// GridSources builds the cartesian configuration space
+// (named sources × variants × unroll bounds) — the multi-program batch
+// sweep over user programs registered in the engine's Sources table.
+func GridSources(names []string, variants []Variant, maxUnrolls []int, includeClassical bool) []Config {
+	var space []Config
+	for _, name := range names {
+		space = append(space, gridFor(Config{Source: name}, variants, maxUnrolls, includeClassical)...)
+	}
+	return space
+}
+
+// gridFor expands one source seed config over the variant/unroll axes.
+func gridFor(seed Config, variants []Variant, maxUnrolls []int, includeClassical bool) []Config {
 	if len(maxUnrolls) == 0 {
 		maxUnrolls = []int{0}
 	}
 	var space []Config
-	for _, n := range sizes {
-		for _, v := range variants {
-			for _, mu := range maxUnrolls {
-				space = append(space, Config{
-					N: n, Preset: core.MicroprocessorBlock,
-					NoSpeculation: v.NoSpeculation, NoUnroll: v.NoUnroll,
-					NoConstProp: v.NoConstProp, NoCSE: v.NoCSE,
-					NoChaining: v.NoChaining, MaxUnroll: mu,
-				})
-			}
+	for _, v := range variants {
+		for _, mu := range maxUnrolls {
+			c := seed
+			c.Preset = core.MicroprocessorBlock
+			c.NoSpeculation = v.NoSpeculation
+			c.NoUnroll = v.NoUnroll
+			c.NoConstProp = v.NoConstProp
+			c.NoCSE = v.NoCSE
+			c.NoChaining = v.NoChaining
+			c.MaxUnroll = mu
+			space = append(space, c)
 		}
-		if includeClassical {
-			space = append(space, Config{N: n, Preset: core.ClassicalASIC})
-		}
+	}
+	if includeClassical {
+		c := seed
+		c.Preset = core.ClassicalASIC
+		space = append(space, c)
 	}
 	return space
 }

@@ -1,0 +1,249 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+
+	"sparkgo/internal/cache"
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/pass"
+)
+
+// SchemaVersion versions the engine's own on-disk artifact schema (the
+// blob layouts below and the point-key recipe). The full disk schema
+// string also folds in the stage versions of internal/core, so bumping
+// either side invalidates persisted artifacts cleanly.
+const SchemaVersion = 1
+
+// Artifact kinds in the disk store.
+const (
+	kindFrontend = "frontend"
+	kindPoint    = "point"
+)
+
+// DiskSchema is the complete version string the disk layer is keyed
+// under; artifacts written under any other schema are invisible.
+func DiskSchema() string {
+	return fmt.Sprintf("explore%d-fe%d-me%d-be%d",
+		SchemaVersion, core.FrontendVersion, core.MidendVersion, core.BackendVersion)
+}
+
+// diskLayer lazily opens the configured cache directory once; open
+// failures disable the layer for the engine's lifetime (counted in
+// Stats.DiskErrors) rather than failing the sweep.
+type diskLayer struct {
+	once  sync.Once
+	store *cache.Store
+}
+
+func (e *Engine) diskStore() *cache.Store {
+	if e.CacheDir == "" {
+		return nil
+	}
+	e.disk.once.Do(func() {
+		s, err := cache.Open(e.CacheDir, DiskSchema())
+		if err != nil {
+			e.diskErrors.Add(1)
+			return
+		}
+		e.disk.store = s
+	})
+	return e.disk.store
+}
+
+// pointDiskKey keys a fully evaluated configuration on disk. Unlike the
+// in-memory point cache (scoped to one engine, where the source table
+// and SimTrials are fixed), the disk key must identify everything the
+// point depends on: the canonical config, the source program's content
+// fingerprint — the same name can map to different programs across
+// processes — and the simulation depth.
+func (e *Engine) pointDiskKey(c Config, sourceFingerprint string) string {
+	return ir.HashText(fmt.Sprintf("point|cfg=%s|src=%s|sim=%d",
+		c.String(), sourceFingerprint, e.SimTrials))
+}
+
+// sourceEntry memoizes one resolved source program and its content
+// fingerprint, so a sweep fingerprints each source once instead of
+// per configuration.
+type sourceEntry struct {
+	once        sync.Once
+	prog        *ir.Program
+	fingerprint string
+	err         error
+}
+
+// sourceID identifies the program a config synthesizes within this
+// engine: a named source, or the generator at scale N.
+func sourceID(c Config) string {
+	if c.Source != "" {
+		return "src=" + c.Source
+	}
+	return fmt.Sprintf("n=%d", c.N)
+}
+
+// resolveSource returns the (memoized) program and fingerprint for a
+// config's source.
+func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
+	id := sourceID(c)
+	e.mu.Lock()
+	if e.sources == nil {
+		e.sources = map[string]*sourceEntry{}
+	}
+	se, ok := e.sources[id]
+	if !ok {
+		se = &sourceEntry{}
+		e.sources[id] = se
+	}
+	e.mu.Unlock()
+	se.once.Do(func() {
+		if c.Source != "" {
+			se.prog = e.Sources[c.Source]
+			if se.prog == nil {
+				se.err = fmt.Errorf("explore: unknown source %q", c.Source)
+				return
+			}
+		} else {
+			gen := e.Source
+			if gen == nil {
+				gen = ild.Program
+			}
+			se.prog = gen(c.N)
+			if se.prog == nil {
+				se.err = fmt.Errorf("explore: source generator returned nil for n=%d", c.N)
+				return
+			}
+		}
+		se.fingerprint = ir.Fingerprint(se.prog)
+	})
+	return se, se.err
+}
+
+// frontEntry memoizes one frontend stage run by stage key.
+type frontEntry struct {
+	once sync.Once
+	fa   *core.FrontendArtifact
+	err  error
+}
+
+// frontend returns the frontend artifact for (source, options), running
+// the transformation pipeline at most once per stage key — in-memory
+// first, then the disk layer, then computation.
+func (e *Engine) frontend(src *sourceEntry, o core.FrontendOptions) (*core.FrontendArtifact, error) {
+	key := core.FrontendKeyFrom(src.fingerprint, o)
+	if key == "" {
+		// Opaque custom passes: nothing stable to key on.
+		e.frontendComputed.Add(1)
+		return core.Frontend(src.prog, o)
+	}
+	e.mu.Lock()
+	if e.fronts == nil {
+		e.fronts = map[string]*frontEntry{}
+	}
+	fe, cached := e.fronts[key]
+	if !cached {
+		fe = &frontEntry{}
+		e.fronts[key] = fe
+	}
+	e.mu.Unlock()
+	if cached {
+		e.frontendMemHits.Add(1)
+	}
+	fe.once.Do(func() {
+		if fa := e.loadFrontend(key); fa != nil {
+			e.frontendDiskHits.Add(1)
+			fe.fa = fa
+			return
+		}
+		fe.fa, fe.err = core.Frontend(src.prog, o)
+		e.frontendComputed.Add(1)
+		if fe.err == nil {
+			// Frontend leaves content identity and the stage key to its
+			// caller; fill both before the artifact is shared.
+			enc := fe.fa.Materialize()
+			fe.fa.Key = key
+			e.storeFrontend(key, fe.fa, enc)
+		}
+	})
+	return fe.fa, fe.err
+}
+
+// frontendBlob is the disk form of a frontend artifact: the transformed
+// program travels in the lossless IR encoding (ir.EncodeProgram —
+// printed surface text would lose the expression types the passes
+// assigned), alongside the reporting metadata. Variable pointer
+// identity is rebuilt by the decoder; nothing downstream depends on it.
+type frontendBlob struct {
+	Program     []byte // ir.EncodeProgram of the transformed program
+	Source      string // canonical printed form (fingerprint pre-image)
+	Fingerprint string
+	Stages      []core.StageMetrics
+	PassStats   []pass.Stat
+	Rounds      int
+}
+
+// loadFrontend fetches and revives a frontend artifact from disk,
+// returning nil on any miss, decode failure, or round-trip mismatch —
+// the caller then recomputes.
+func (e *Engine) loadFrontend(key string) *core.FrontendArtifact {
+	d := e.diskStore()
+	if d == nil {
+		return nil
+	}
+	var blob frontendBlob
+	ok, err := d.Get(kindFrontend, key, &blob)
+	if err != nil {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	prog, err := ir.DecodeProgram(blob.Program)
+	if err != nil {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	// The fingerprint hashes the lossless encoding; if the revived
+	// program re-encodes differently the artifact did not round-trip
+	// faithfully, and recomputing is the only safe answer.
+	if ir.Fingerprint(prog) != blob.Fingerprint {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	return &core.FrontendArtifact{
+		Program:     prog,
+		Source:      blob.Source,
+		Fingerprint: blob.Fingerprint,
+		Key:         key,
+		Stages:      blob.Stages,
+		PassStats:   blob.PassStats,
+		Rounds:      blob.Rounds,
+	}
+}
+
+// storeFrontend persists a materialized frontend artifact, reusing the
+// encoding Materialize produced; failures only count.
+func (e *Engine) storeFrontend(key string, fa *core.FrontendArtifact, enc []byte) {
+	d := e.diskStore()
+	if d == nil {
+		return
+	}
+	if enc == nil {
+		// Unencodable program: nothing faithful to persist.
+		e.diskErrors.Add(1)
+		return
+	}
+	blob := frontendBlob{
+		Program:     enc,
+		Source:      fa.Source,
+		Fingerprint: fa.Fingerprint,
+		Stages:      fa.Stages,
+		PassStats:   fa.PassStats,
+		Rounds:      fa.Rounds,
+	}
+	if err := d.Put(kindFrontend, key, blob); err != nil {
+		e.diskErrors.Add(1)
+	}
+}

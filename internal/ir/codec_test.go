@@ -1,0 +1,91 @@
+package ir_test
+
+import (
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+)
+
+// TestCodecRoundTripILD pins the lossless-codec contract on the programs
+// that actually flow through the disk cache: both the raw generated ILD
+// description and its transformed frontend artifact — whose expression
+// types were assigned by the passes, not the parser, and which therefore
+// does NOT survive a Print/Parse round trip.
+func TestCodecRoundTripILD(t *testing.T) {
+	transformed, err := core.Frontend(ild.Program(4),
+		core.Options{Preset: core.MicroprocessorBlock}.FrontendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]*ir.Program{
+		"generated":   ild.Program(4),
+		"natural":     ild.NaturalProgram(4),
+		"transformed": transformed.Program,
+	} {
+		data, err := ir.EncodeProgram(p)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := ir.DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if err := ir.Validate(got); err != nil {
+			t.Fatalf("%s: decoded program invalid: %v", name, err)
+		}
+		if ir.Print(got) != ir.Print(p) {
+			t.Fatalf("%s: decoded program prints differently", name)
+		}
+		if ir.Fingerprint(got) != ir.Fingerprint(p) {
+			t.Fatalf("%s: fingerprint changed across codec round trip", name)
+		}
+	}
+}
+
+// TestCodecPreservesWhatPrintLoses builds a program whose expression
+// types deliberately disagree with parser inference, and checks the
+// codec keeps them where the text round trip would not.
+func TestCodecPreservesWhatPrintLoses(t *testing.T) {
+	p := ir.NewProgram("edge")
+	a := p.NewGlobal("a", ir.U4)
+	out := p.NewGlobal("out", ir.U16)
+	f := ir.NewFunc("main", ir.Void)
+	// 0 + a typed uint16 directly — the parser would type it uint4 and
+	// wrap a cast around it.
+	wide := &ir.BinExpr{Op: ir.OpAdd, L: ir.C(0, ir.U16), R: ir.V(a), Typ: ir.U16}
+	f.Body.Add(ir.AssignRaw(ir.V(out), wide))
+	tmp := f.NewTemp("t", ir.Bool)
+	f.Body.Add(ir.Assign(ir.V(tmp), ir.Lt(ir.V(a), ir.C(3, ir.U4))))
+	p.AddFunc(f)
+
+	data, err := ir.EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ir.DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := got.Funcs[0].Body.Stmts[0].(*ir.AssignStmt).RHS.(*ir.BinExpr)
+	if !bin.Typ.Equal(ir.U16) {
+		t.Fatalf("BinExpr type = %s, want uint16", bin.Typ)
+	}
+	v := got.Funcs[0].Lookup("t_1")
+	if v == nil || !v.Synthetic {
+		t.Fatalf("synthetic temp flag lost: %+v", v)
+	}
+	// tempCounter must carry over so revived programs keep generating
+	// unique names.
+	if w := got.Funcs[0].NewTemp("t", ir.Bool); w.Name == "t_1" {
+		t.Fatalf("temp counter reset: new temp collides with %q", w.Name)
+	}
+}
+
+// TestDecodeRejectsCorruptInput checks corrupt bytes fail loudly.
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	if _, err := ir.DecodeProgram([]byte("not a program")); err == nil {
+		t.Fatal("decoded garbage without error")
+	}
+}

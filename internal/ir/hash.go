@@ -1,0 +1,40 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a content hash of the program: the SHA-256 of its
+// lossless serialized form (EncodeProgram). The printed surface syntax
+// would be the more human-readable pre-image, but it is NOT faithful —
+// it omits the expression result types that transformation passes
+// assign, so two programs that print identically can still synthesize
+// differently. Hashing the encoding makes the fingerprint a safe
+// artifact-identity key for the staged synthesis flow and the
+// exploration caches: everything a downstream stage can observe is
+// covered, while variable pointer identity and construction history are
+// excluded. Programs too malformed to encode (dangling variable
+// references) fall back to hashing the printed text.
+func Fingerprint(p *Program) string {
+	data, err := EncodeProgram(p)
+	if err != nil {
+		return HashText("unencodable|" + Print(p))
+	}
+	return FingerprintBytes(data)
+}
+
+// FingerprintBytes returns the fingerprint for a program already
+// serialized by EncodeProgram, for callers that need both the encoding
+// and its hash without encoding twice.
+func FingerprintBytes(encoded []byte) string {
+	sum := sha256.Sum256(encoded)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashText returns the SHA-256 hex digest of an arbitrary canonical
+// string — the primitive stage-key composition builds on.
+func HashText(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

@@ -2,11 +2,30 @@ package rtl
 
 import (
 	"fmt"
+	"sort"
 
 	"sparkgo/internal/htg"
 	"sparkgo/internal/ir"
 	"sparkgo/internal/sched"
 )
+
+// sortedVars returns the map's variable keys in a stable order — the
+// deterministic iteration every HDL-visible walk must use. Names are
+// unique among locals and among globals, but a local may shadow a
+// global's name, so globals order first on a name tie.
+func sortedVars[T any](m map[*ir.Var]T) []*ir.Var {
+	out := make([]*ir.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].IsGlobal && !out[j].IsGlobal
+	})
+	return out
+}
 
 // Build constructs the RTL module realizing a schedule. The datapath is
 // built with the value-tracking ("current value") method: walking each
@@ -53,11 +72,18 @@ func Build(res *sched.Result) (*Module, error) {
 			b.homeSig(gv, s)
 		}
 	}
-	// Local registers.
+	// Local registers, in stable name order (VarClass is a map, and the
+	// declaration order must not depend on map iteration: the emitted
+	// HDL is golden-tested byte for byte).
+	locals := make([]*ir.Var, 0, len(res.VarClass))
 	for v, cls := range res.VarClass {
 		if v.IsGlobal || cls != sched.Register {
 			continue
 		}
+		locals = append(locals, v)
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i].Name < locals[j].Name })
+	for _, v := range locals {
 		if v.Type.IsArray() {
 			elems := make([]*Signal, v.Type.Len)
 			for i := range elems {
@@ -292,8 +318,11 @@ func (b *builder) buildState(state int) error {
 		}
 	}
 
-	// Commit registers: any register whose current value changed.
-	for v, s := range cur {
+	// Commit registers: any register whose current value changed. The
+	// commit order is sorted by name so RegWrites — and therefore the
+	// emitted HDL — never depend on map iteration.
+	for _, v := range sortedVars(cur) {
+		s := cur[v]
 		home := b.homes[v]
 		if home == nil || home.Kind != SigReg {
 			continue
@@ -302,7 +331,8 @@ func (b *builder) buildState(state int) error {
 			b.m.RegWrites = append(b.m.RegWrites, RegWrite{Reg: home, State: state, Value: s})
 		}
 	}
-	for v, elems := range curArr {
+	for _, v := range sortedVars(curArr) {
+		elems := curArr[v]
 		home := b.arrays[v]
 		for i, s := range elems {
 			if home[i].Kind == SigReg && s != home[i] {

@@ -91,13 +91,13 @@ func TestVHDLStructure(t *testing.T) {
 	for _, want := range []string{
 		"library ieee;",
 		"use ieee.numeric_std.all;",
-		"entity design is",
+		"entity design_sig is",
 		"clk   : in  std_logic;",
 		"start : in  std_logic;",
 		"done  : out std_logic",
 		"a : in  unsigned(7 downto 0)",
-		"out_out : out unsigned(7 downto 0)",
-		"architecture rtl of design is",
+		"out_sig_out : out unsigned(7 downto 0)",
+		"architecture rtl of design_sig is",
 		"process(clk)",
 		"rising_edge(clk)",
 		"end rtl;",
@@ -119,10 +119,10 @@ func TestVerilogStructure(t *testing.T) {
 	res := synth(t, condSrc, core.Options{})
 	v := rtl.EmitVerilog(res.Module)
 	for _, want := range []string{
-		"module design(",
+		"module design_sig(",
 		"input wire clk,",
 		"input wire [7:0] a",
-		"output wire [7:0] out_out",
+		"output wire [7:0] out_sig_out",
 		"always @(posedge clk)",
 		"endmodule",
 	} {
