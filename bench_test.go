@@ -21,6 +21,8 @@
 //	BenchmarkExploreSweepWarm          cache-hit path of the same sweep
 //	BenchmarkExploreSweepDiskCold      cold sweep that also populates a disk cache
 //	BenchmarkExploreSweepDiskWarm      fresh engine served from on-disk artifacts
+//	BenchmarkSearchHillClimb           adaptive hill-climbing search (E17)
+//	BenchmarkSearchGenetic             adaptive genetic search (E17)
 //	BenchmarkSynthesizeILD/n=*         end-to-end synthesis timing sweep
 //	BenchmarkRTLSimILD                 simulated decode throughput
 //	BenchmarkInterpILD                 behavioral decode throughput
@@ -223,6 +225,27 @@ func BenchmarkExploreSweepDiskWarm(b *testing.B) {
 		}
 	}
 }
+
+// benchSearch measures one adaptive search strategy on a cold engine per
+// iteration: the cost of finding the best design with a fixed evaluation
+// budget, stage-cache sharing included.
+func benchSearch(b *testing.B, st explore.Strategy) {
+	sp := explore.DefaultSpace(8)
+	obj := explore.WeightedObjective(1000, 1)
+	budget := explore.Budget{MaxEvaluations: 20}
+	b.ReportMetric(float64(budget.MaxEvaluations), "evals")
+	for i := 0; i < b.N; i++ {
+		eng := &explore.Engine{}
+		res := st.Search(eng, sp, obj, budget, 1)
+		if res.Best.Err != "" || res.Best.Latency != 1 {
+			b.Fatalf("search lost the 1-cycle design: %+v", res.Best)
+		}
+	}
+}
+
+func BenchmarkSearchHillClimb(b *testing.B) { benchSearch(b, explore.HillClimb{}) }
+
+func BenchmarkSearchGenetic(b *testing.B) { benchSearch(b, explore.Genetic{}) }
 
 // BenchmarkSynthesizeILD times the full coordinated flow per buffer size:
 // the "design space exploration speed" the paper positions Spark for.

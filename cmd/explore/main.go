@@ -1,7 +1,7 @@
 // Command explore drives the design-space exploration engine and
 // regenerates every experiment table of the reproduction (DESIGN.md §4:
-// E1–E16 and the A-series ablations). With no arguments it runs every
-// experiment; pass experiment ids (e.g. "E12 A E15 E16") to select.
+// E1–E17 and the A-series ablations). With no arguments it runs every
+// experiment; pass experiment ids (e.g. "E12 A E15 E17") to select.
 //
 // The -sweep mode runs a standalone concurrent sweep over
 // (preset × pass toggles × unroll bounds × buffer sizes) and prints the
@@ -15,7 +15,18 @@
 // parsed from files: the sweep batches every named source into one
 // configuration space. -cache-dir persists stage artifacts and
 // evaluated points on disk, so repeated sweeps — including across
-// process restarts — reuse earlier synthesis work.
+// process restarts — reuse earlier synthesis work; -cache-max-bytes
+// garbage-collects the cache directory afterwards (oldest artifacts
+// first, including those under retired schema versions).
+//
+// The -search mode replaces the exhaustive grid with an adaptive search
+// over the same axes (pass orderings × motion knockouts × unroll bounds
+// × chaining) and prints its improvement trajectory, best design, and
+// cache statistics:
+//
+//	explore -search [-strategy hill|genetic] [-budget 64] [-deadline 30s]
+//	        [-objective latency|area|weighted] [-seed 1] [-n 16]
+//	        [-search-json BENCH_search.json]
 //
 // The -bench-json mode measures the cache trajectory (cold sweep, warm
 // in-memory re-sweep, disk-warm sweep in a fresh engine) and writes the
@@ -51,8 +62,16 @@ func main() {
 	sizes := flag.String("sizes", "4,8,16,32", "comma-separated ILD buffer sizes for -sweep")
 	sim := flag.Int("sim", 1, "per-config rtlsim latency trials for -sweep (0 = report FSM states)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed exploration cache directory (persists across runs)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "garbage-collect the cache directory down to this many bytes after the run (0 = never)")
 	srcFiles := flag.String("src", "", "comma-separated source files to sweep instead of the ILD generator")
 	benchJSON := flag.String("bench-json", "", "write cold/warm/disk-warm sweep benchmark results to this JSON file and exit")
+	search := flag.Bool("search", false, "run an adaptive design-space search instead of an exhaustive sweep")
+	strategy := flag.String("strategy", "hill", "search strategy: hill (steepest-ascent + restarts) or genetic")
+	objective := flag.String("objective", "weighted", "search objective: latency, area, or weighted")
+	budget := flag.Int("budget", 64, "search budget: max distinct configurations evaluated (0 = unbounded)")
+	deadline := flag.Duration("deadline", 0, "search wall-clock budget (0 = unbounded)")
+	seed := flag.Int64("seed", 1, "search RNG seed (same seed, same trajectory)")
+	searchJSON := flag.String("search-json", "", "write the search summary to this JSON file (with -search)")
 	flag.Parse()
 
 	printTable := func(t *report.Table) {
@@ -60,6 +79,25 @@ func main() {
 			fmt.Println(t.CSV())
 		} else {
 			fmt.Println(t)
+		}
+	}
+
+	// Mode flags that would silently lose to one another are conflicts:
+	// -search runs the adaptive engine over the built-in generator at -n
+	// only, so combining it with the sweep-only inputs must fail loudly
+	// rather than search the wrong program.
+	if *search {
+		if *sweep {
+			fmt.Fprintln(os.Stderr, "-search and -sweep are mutually exclusive")
+			os.Exit(1)
+		}
+		if *benchJSON != "" {
+			fmt.Fprintln(os.Stderr, "-search and -bench-json are mutually exclusive")
+			os.Exit(1)
+		}
+		if *srcFiles != "" {
+			fmt.Fprintln(os.Stderr, "-search does not support -src yet: the search space is the built-in ILD generator at -n")
+			os.Exit(1)
 		}
 	}
 
@@ -71,8 +109,25 @@ func main() {
 		return
 	}
 
+	if *search {
+		err := runSearch(*strategy, *objective, *n, *budget, *deadline, *seed,
+			*workers, *sim, *cacheDir, *searchJSON, printTable)
+		if err == nil {
+			err = runCacheGC(*cacheDir, *cacheMaxBytes)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "search FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *sweep {
-		if err := runSweep(*sizes, *srcFiles, *cacheDir, *workers, *sim, printTable); err != nil {
+		err := runSweep(*sizes, *srcFiles, *cacheDir, *workers, *sim, printTable)
+		if err == nil {
+			err = runCacheGC(*cacheDir, *cacheMaxBytes)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep FAILED: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,6 +153,7 @@ func main() {
 		{"E14", func() (*report.Table, error) { return experiments.E14Fig16Natural(8) }},
 		{"E15", func() (*report.Table, error) { return experiments.E15Exploration(*workers) }},
 		{"E16", func() (*report.Table, error) { return experiments.E16PassOrder(*n, *workers) }},
+		{"E17", func() (*report.Table, error) { return experiments.E17AdaptiveSearch(*n, *workers) }},
 		{"A", func() (*report.Table, error) { return experiments.Ablations(*n) }},
 	}
 
@@ -123,6 +179,23 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCacheGC applies the -cache-max-bytes budget to the exploration
+// cache directory after a run: artifacts are evicted oldest-access
+// first, retired schema versions included, until the directory fits.
+func runCacheGC(cacheDir string, maxBytes int64) error {
+	if cacheDir == "" || maxBytes <= 0 {
+		return nil
+	}
+	eng := &explore.Engine{CacheDir: cacheDir}
+	st, err := eng.CacheGC(maxBytes)
+	if err != nil {
+		return fmt.Errorf("cache gc: %w", err)
+	}
+	fmt.Printf("cache gc: %d of %d artifacts evicted (%d -> %d bytes, budget %d)\n",
+		st.RemovedFiles, st.ScannedFiles, st.ScannedBytes, st.RemainingBytes, maxBytes)
+	return nil
 }
 
 // parseSizes turns the -sizes flag into a size list.

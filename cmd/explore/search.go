@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"sparkgo/internal/explore"
+	"sparkgo/internal/report"
+)
+
+// searchStep is one trajectory improvement in the JSON summary.
+type searchStep struct {
+	Evaluation int     `json:"evaluation"`
+	Score      float64 `json:"score"`
+	Config     string  `json:"config"`
+	Latency    int     `json:"latency"`
+	Area       float64 `json:"area"`
+}
+
+// searchReport is the BENCH_search.json schema consumed by CI trend
+// tracking, the adaptive-search sibling of benchReport.
+type searchReport struct {
+	Schema      string         `json:"schema"`
+	Timestamp   string         `json:"timestamp"`
+	GoOS        string         `json:"goos"`
+	GoArch      string         `json:"goarch"`
+	CPUs        int            `json:"cpus"`
+	N           int            `json:"n"`
+	Strategy    string         `json:"strategy"`
+	Objective   string         `json:"objective"`
+	Seed        int64          `json:"seed"`
+	Budget      int            `json:"budget"`
+	Nanos       int64          `json:"ns"`
+	Evaluations int            `json:"evaluations"`
+	Revisits    int            `json:"revisits"`
+	Restarts    int            `json:"restarts,omitempty"`
+	Generations int            `json:"generations,omitempty"`
+	Exhausted   bool           `json:"exhausted"`
+	BestScore   float64        `json:"best_score"`
+	BestConfig  string         `json:"best_config"`
+	BestLatency int            `json:"best_latency"`
+	BestArea    float64        `json:"best_area"`
+	Trajectory  []searchStep   `json:"trajectory"`
+	Cache       benchCacheStat `json:"cache"`
+}
+
+// runSearch drives one adaptive search over the default space at scale n
+// and prints the trajectory, the best design, and the engine's cache
+// statistics; jsonPath != "" additionally writes the machine-readable
+// summary CI archives as BENCH_search.json.
+func runSearch(strategy, objective string, n, budgetEvals int, deadline time.Duration,
+	seed int64, workers, simTrials int, cacheDir, jsonPath string,
+	printTable func(*report.Table)) error {
+	st, err := explore.StrategyByName(strategy)
+	if err != nil {
+		return err
+	}
+	obj, err := explore.ObjectiveByName(objective)
+	if err != nil {
+		return err
+	}
+	if budgetEvals <= 0 && deadline <= 0 {
+		return fmt.Errorf("search needs a budget: -budget evaluations and/or -deadline")
+	}
+	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	budget := explore.Budget{MaxEvaluations: budgetEvals, MaxDuration: deadline}
+
+	start := time.Now()
+	res := st.Search(eng, explore.DefaultSpace(n), obj, budget, seed)
+	elapsed := time.Since(start)
+
+	// A BestScore still at +Inf means no candidate ever evaluated
+	// successfully: res.Best is the zero Point, not a design (and +Inf
+	// does not survive JSON marshaling).
+	if math.IsInf(res.BestScore, 1) {
+		return fmt.Errorf("search found no successful design: every evaluated configuration failed")
+	}
+
+	t := report.New(
+		fmt.Sprintf("adaptive search: %s over n=%d (objective=%s seed=%d)",
+			res.Strategy, n, objective, seed),
+		"evaluation", "score", "latency", "area", "config")
+	for _, s := range res.Trajectory {
+		t.Add(s.Evaluation, s.Score, s.Point.Latency, s.Point.Area, s.Point.Config.String())
+	}
+	printTable(t)
+
+	sum := report.New("search summary", "metric", "value")
+	sum.Add("evaluations", res.Evaluations)
+	sum.Add("revisits (free)", res.Revisits)
+	if res.Restarts > 0 {
+		sum.Add("restarts", res.Restarts)
+	}
+	if res.Generations > 0 {
+		sum.Add("generations", res.Generations)
+	}
+	sum.Add("exhausted budget", res.Exhausted)
+	sum.Add("best score", res.BestScore)
+	sum.Add("best latency", res.Best.Latency)
+	sum.Add("best area", res.Best.Area)
+	sum.Add("best config", res.Best.Config.String())
+	sum.Add("wall time", elapsed.Round(time.Millisecond).String())
+	printTable(sum)
+	printTable(cacheTable(eng.Stats()))
+
+	if res.Best.Err != "" {
+		return fmt.Errorf("search best point failed: %s", res.Best.Err)
+	}
+
+	if jsonPath != "" {
+		stats := eng.Stats()
+		rep := searchReport{
+			Schema:    "sparkgo/bench-search/v1",
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GoOS:      runtime.GOOS, GoArch: runtime.GOARCH, CPUs: runtime.NumCPU(),
+			N: n, Strategy: res.Strategy, Objective: objective, Seed: seed,
+			Budget: budgetEvals, Nanos: elapsed.Nanoseconds(),
+			Evaluations: res.Evaluations, Revisits: res.Revisits,
+			Restarts: res.Restarts, Generations: res.Generations,
+			Exhausted: res.Exhausted, BestScore: res.BestScore,
+			BestConfig:  res.Best.Config.String(),
+			BestLatency: res.Best.Latency, BestArea: res.Best.Area,
+			Cache: benchCacheStat{
+				PointMemHits:     stats.PointMemHits,
+				PointDiskHits:    stats.PointDiskHits,
+				PointComputed:    stats.PointComputed,
+				FrontendMemHits:  stats.FrontendMemHits,
+				FrontendDiskHits: stats.FrontendDiskHits,
+				FrontendComputed: stats.FrontendComputed,
+				DiskErrors:       stats.DiskErrors,
+			},
+		}
+		for _, s := range res.Trajectory {
+			rep.Trajectory = append(rep.Trajectory, searchStep{
+				Evaluation: s.Evaluation, Score: s.Score,
+				Config:  s.Point.Config.String(),
+				Latency: s.Point.Latency, Area: s.Point.Area,
+			})
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s found score %.1f in %d evaluations (%.1fms)\n",
+			jsonPath, res.Strategy, res.BestScore, res.Evaluations,
+			float64(elapsed.Nanoseconds())/1e6)
+	}
+	return nil
+}

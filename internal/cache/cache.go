@@ -19,6 +19,10 @@
 // including separate processes sharing one cache directory — can race on
 // a key without ever exposing a torn file. Losing the race wastes one
 // redundant write of identical content, nothing more.
+//
+// The store tracks recency by file mtime: a successful Get refreshes the
+// artifact's timestamp, so mtime order approximates LRU order and GC can
+// evict cold artifacts first when the directory outgrows a byte budget.
 package cache
 
 import (
@@ -26,8 +30,11 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 )
 
 // FormatVersion is the file-format version stamped into every artifact
@@ -46,7 +53,8 @@ type header struct {
 // Store is a handle on one cache directory at one schema version. The
 // zero value is unusable; use Open.
 type Store struct {
-	root    string
+	base    string // directory handed to Open; shared by every schema version
+	root    string // <base>/<schema-version>
 	version string
 }
 
@@ -64,7 +72,7 @@ func Open(dir, version string) (*Store, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Store{root: root, version: version}, nil
+	return &Store{base: dir, root: root, version: version}, nil
 }
 
 // Root returns the store's versioned root directory.
@@ -80,9 +88,11 @@ func (s *Store) path(kind, key string) string {
 // Get decodes the artifact stored under (kind, key) into out, reporting
 // whether it was found. A missing file, a version or format mismatch, or
 // a key collision is a miss (false, nil); a present-but-undecodable file
-// is an error.
+// is an error. A hit refreshes the file's mtime, so GC's oldest-first
+// eviction order tracks access recency, not just write order.
 func (s *Store) Get(kind, key string, out any) (bool, error) {
-	f, err := os.Open(s.path(kind, key))
+	path := s.path(kind, key)
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return false, nil
@@ -101,6 +111,8 @@ func (s *Store) Get(kind, key string, out any) (bool, error) {
 	if err := dec.Decode(out); err != nil {
 		return false, fmt.Errorf("cache: %s/%s: bad payload: %w", kind, key, err)
 	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // best-effort recency marker for GC
 	return true, nil
 }
 
@@ -133,6 +145,85 @@ func (s *Store) Put(kind, key string, v any) error {
 		return fmt.Errorf("cache: %w", err)
 	}
 	return nil
+}
+
+// GCStat summarizes one GC pass over the cache directory.
+type GCStat struct {
+	ScannedFiles   int   // artifact files found before eviction
+	ScannedBytes   int64 // their total size
+	RemovedFiles   int
+	RemovedBytes   int64
+	RemainingBytes int64 // ScannedBytes - RemovedBytes
+}
+
+// GC evicts artifacts oldest-mtime-first until the cache directory's
+// total size is at or under maxBytes (0 empties it). Because Get
+// refreshes mtimes, eviction order approximates LRU; because it walks
+// the whole base directory — every schema version, not just this
+// store's — artifacts stranded under retired schema versions are
+// reclaimed first, which is exactly where a version bump leaves
+// garbage. Files a concurrent writer is still assembling (the temp
+// files Put renames from) are skipped; a file that vanishes mid-walk —
+// a concurrent GC or writer won the race — is skipped, not an error.
+func (s *Store) GC(maxBytes int64) (GCStat, error) {
+	if maxBytes < 0 {
+		return GCStat{}, fmt.Errorf("cache: negative GC budget %d", maxBytes)
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var stat GCStat
+	err := filepath.WalkDir(s.base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".gob" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		files = append(files, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		stat.ScannedFiles++
+		stat.ScannedBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return stat, fmt.Errorf("cache: gc: %w", err)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path // stable order under equal stamps
+	})
+	remaining := stat.ScannedBytes
+	for _, f := range files {
+		if remaining <= maxBytes {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return stat, fmt.Errorf("cache: gc: %w", err)
+		}
+		remaining -= f.size
+		stat.RemovedFiles++
+		stat.RemovedBytes += f.size
+	}
+	stat.RemainingBytes = remaining
+	return stat, nil
 }
 
 // sanitize keeps path segments portable: anything outside

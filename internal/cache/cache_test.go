@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"sparkgo/internal/cache"
 )
@@ -143,6 +144,178 @@ func TestHeaderMismatchIsMiss(t *testing.T) {
 	}
 	if ok, err := s.Get("point", "a", &got); err != nil || !ok || got.Name != "a" {
 		t.Fatalf("original artifact lost: ok=%v err=%v", ok, err)
+	}
+}
+
+// age back-dates the most recently written artifact file under root by
+// d, so GC ordering is deterministic regardless of filesystem timestamp
+// granularity. Call it right after the Put it should apply to.
+func age(t *testing.T, root string, d time.Duration) {
+	t.Helper()
+	var newest string
+	var newestTime time.Time
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == ".gob" {
+			if newest == "" || info.ModTime().After(newestTime) {
+				newest, newestTime = p, info.ModTime()
+			}
+		}
+		return nil
+	})
+	if err != nil || newest == "" {
+		t.Fatalf("artifact file not found: %v", err)
+	}
+	old := time.Now().Add(-d)
+	if err := os.Chtimes(newest, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCEvictsOldestFirst: over-budget caches shed artifacts in mtime
+// order, oldest first, and stop as soon as they fit.
+func TestGCEvictsOldestFirst(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := artifact{Name: "x", Values: make([]int, 64)}
+	var size int64
+	for i, key := range []string{"old", "mid", "new"} {
+		if err := s.Put("point", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		age(t, root, time.Duration(3-i)*time.Hour)
+		if size == 0 {
+			st, err := s.GC(1 << 40) // measure one artifact's size
+			if err != nil {
+				t.Fatal(err)
+			}
+			size = st.ScannedBytes
+		}
+	}
+	st, err := s.GC(2 * size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScannedFiles != 3 || st.RemovedFiles != 1 || st.RemainingBytes > 2*size {
+		t.Fatalf("GC stat: %+v (artifact size %d)", st, size)
+	}
+	var got artifact
+	if ok, _ := s.Get("point", "old", &got); ok {
+		t.Fatal("oldest artifact survived GC")
+	}
+	for _, key := range []string{"mid", "new"} {
+		if ok, err := s.Get("point", key, &got); err != nil || !ok {
+			t.Fatalf("recent artifact %q evicted: ok=%v err=%v", key, ok, err)
+		}
+	}
+}
+
+// TestGCZeroBudgetEmpties: GC(0) clears the cache entirely; a negative
+// budget is rejected.
+func TestGCZeroBudgetEmpties(t *testing.T) {
+	s, err := cache.Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b"} {
+		if err := s.Put("point", key, artifact{Name: key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedFiles != 2 || st.RemainingBytes != 0 {
+		t.Fatalf("GC(0) stat: %+v", st)
+	}
+	if _, err := s.GC(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// TestGCReclaimsRetiredSchemas: artifacts stranded under an old schema
+// version share the base directory, so a GC through the current store
+// must see and reclaim them — that is where version bumps leave garbage.
+func TestGCReclaimsRetiredSchemas(t *testing.T) {
+	root := t.TempDir()
+	old, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Put("point", "stale", artifact{Name: "stale"}); err != nil {
+		t.Fatal(err)
+	}
+	age(t, root, time.Hour)
+	cur, err := cache.Open(root, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Put("point", "live", artifact{Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := cur.GC(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.ScannedFiles != 2 {
+		t.Fatalf("GC scanned %d files across schemas, want 2", probe.ScannedFiles)
+	}
+	st, err := cur.GC(probe.ScannedBytes / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedFiles != 1 {
+		t.Fatalf("GC stat: %+v", st)
+	}
+	var got artifact
+	if ok, _ := old.Get("point", "stale", &got); ok {
+		t.Fatal("retired-schema artifact survived")
+	}
+	if ok, err := cur.Get("point", "live", &got); err != nil || !ok {
+		t.Fatalf("live artifact evicted: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestGetRefreshesRecency: a Get must bump the artifact's timestamp so
+// hot artifacts survive GC even when they were written first.
+func TestGetRefreshesRecency(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", "hot", artifact{Name: "hot"}); err != nil {
+		t.Fatal(err)
+	}
+	age(t, root, 2*time.Hour)
+	if err := s.Put("point", "cold", artifact{Name: "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	age(t, root, time.Hour)
+	// "hot" is older on disk, but a read refreshes it past "cold".
+	var got artifact
+	if ok, err := s.Get("point", "hot", &got); err != nil || !ok {
+		t.Fatal("hot artifact missing before GC")
+	}
+	probe, err := s.GC(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(probe.ScannedBytes / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedFiles != 1 {
+		t.Fatalf("GC stat: %+v", st)
+	}
+	if ok, _ := s.Get("point", "cold", &got); ok {
+		t.Fatal("cold artifact survived over the recently read one")
+	}
+	if ok, err := s.Get("point", "hot", &got); err != nil || !ok {
+		t.Fatal("recently read artifact evicted")
 	}
 }
 

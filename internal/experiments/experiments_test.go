@@ -39,4 +39,6 @@ func TestAllExperiments(t *testing.T) {
 	run("E15", tb, err)
 	tb, err = E16PassOrder(8, 0)
 	run("E16", tb, err)
+	tb, err = E17AdaptiveSearch(8, 0)
+	run("E17", tb, err)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -134,6 +135,62 @@ func E16PassOrder(n, workers int) (*report.Table, error) {
 	}
 	if oneCycle == 0 {
 		return t, fmt.Errorf("E16: zero single-cycle orderings")
+	}
+	return t, nil
+}
+
+// E17AdaptiveSearch pits the adaptive search strategies against the
+// exhaustive grid they replace (the ROADMAP follow-up to E15/E16):
+// first sweep the full explicit-pass-list grid — every ordering of the
+// four motion passes × both unroll bounds × the chaining switch — then
+// give hill climbing and the genetic algorithm a quarter of that
+// evaluation budget over a strictly larger space (the same axes plus
+// per-motion knockouts) and require both to reach the grid's best
+// latency. The prefix-biased neighbor generation keeps candidates on
+// shared frontend artifacts, which Engine.Stats must show as frontend
+// memory hits: the PR 2 stage cache acting as the search's incremental
+// evaluator. workers <= 0 uses one worker per CPU.
+func E17AdaptiveSearch(n, workers int) (*report.Table, error) {
+	sp := explore.DefaultSpace(n)
+
+	// The exhaustive baseline over the ordering × unroll × chaining
+	// axes, lowered by the same Space the strategies search.
+	grid := sp.OrderGrid()
+	gridEng := &explore.Engine{Workers: workers}
+	gridPts := gridEng.Sweep(grid)
+	gridBest := explore.BestCycles(gridPts)
+
+	t := report.New(fmt.Sprintf("E17: adaptive search vs. exhaustive grid (n=%d)", n),
+		"searcher", "evaluations", "best latency", "best area", "frontend mem hits", "improvements")
+	if gridBest == nil {
+		return t, fmt.Errorf("E17: every grid config failed")
+	}
+	t.Add("grid (exhaustive)", len(grid), gridBest.Latency, gridBest.Area, "", "")
+
+	budget := explore.Budget{MaxEvaluations: len(grid) / 4}
+	obj := explore.WeightedObjective(1000, 1)
+	for _, st := range []explore.Strategy{explore.HillClimb{}, explore.Genetic{}} {
+		eng := &explore.Engine{Workers: workers}
+		res := st.Search(eng, sp, obj, budget, 1)
+		stats := eng.Stats()
+		t.Add(res.Strategy, res.Evaluations, res.Best.Latency, res.Best.Area,
+			stats.FrontendMemHits, len(res.Trajectory))
+		if math.IsInf(res.BestScore, 1) || res.Best.Err != "" {
+			return t, fmt.Errorf("E17: %s found no successful design (best: %+v)",
+				res.Strategy, res.Best)
+		}
+		if res.Best.Latency != gridBest.Latency {
+			return t, fmt.Errorf("E17: %s reached %d-cycle latency, grid best is %d",
+				res.Strategy, res.Best.Latency, gridBest.Latency)
+		}
+		if res.Evaluations*4 > len(grid) {
+			return t, fmt.Errorf("E17: %s spent %d evaluations, over 25%% of the %d-config grid",
+				res.Strategy, res.Evaluations, len(grid))
+		}
+		if stats.FrontendMemHits == 0 {
+			return t, fmt.Errorf("E17: %s shared no frontend artifacts between candidates",
+				res.Strategy)
+		}
 	}
 	return t, nil
 }

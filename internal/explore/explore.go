@@ -128,7 +128,7 @@ func joinSpecs(specs []string) string {
 }
 
 // Key is the 64-bit FNV-1a hash of the canonical string: a compact
-// config fingerprint for simulation seeding and external reporting. The
+// config fingerprint for external reporting and de-duplication. The
 // in-process memoization cache keys on the canonical string itself, so a
 // hash collision can never alias two configurations.
 func (c Config) Key() uint64 {
@@ -187,8 +187,9 @@ type Engine struct {
 	Sources map[string]*ir.Program
 	// SimTrials, when positive, measures per-activation latency by
 	// cycle-accurate simulation on that many random stimulus vectors
-	// (seeded from the config hash, so results are deterministic).
-	// Zero reports the FSM state count as the latency.
+	// (seeded from the source fingerprint plus the canonical config, so
+	// results are deterministic and stimulus is independent per
+	// (source, config)). Zero reports the FSM state count as the latency.
 	SimTrials int
 	// CacheDir, when non-empty, backs the memoization caches with
 	// gob-encoded artifacts on disk (see internal/cache) so sweeps
@@ -224,6 +225,13 @@ type pointEntry struct {
 // Evaluate synthesizes one configuration, serving repeats from the
 // caches. Concurrent callers of the same configuration synthesize once
 // and share the result.
+//
+// Failed evaluations are deliberately not memoized: concurrent callers
+// still share one in-flight attempt (single flight), but the error entry
+// is dropped afterwards, so a later Evaluate retries instead of serving
+// a possibly transient failure (a simulator error, a source-resolution
+// hiccup) forever. Deterministic failures — a bad pass spec, an unknown
+// source — simply recompute to the same error each time.
 func (e *Engine) Evaluate(c Config) Point {
 	key := c.String()
 	e.mu.Lock()
@@ -240,6 +248,13 @@ func (e *Engine) Evaluate(c Config) Point {
 		e.pointMemHits.Add(1)
 	}
 	en.once.Do(func() { en.pt = e.computePoint(c) })
+	if en.pt.Err != "" {
+		e.mu.Lock()
+		if e.points[key] == en {
+			delete(e.points, key)
+		}
+		e.mu.Unlock()
+	}
 	return en.pt
 }
 
@@ -311,7 +326,11 @@ func (e *Engine) Sweep(space []Config) []Point {
 }
 
 // computePoint resolves a point-cache miss: disk first, then the staged
-// synthesis flow, persisting the result for the next process.
+// synthesis flow, persisting the result for the next process. Only
+// successful evaluations are persisted — writing an error point would
+// turn a transient failure into a sticky one, served on every later run
+// until the cache was deleted by hand — and an error point found on disk
+// (written by an older engine) is treated as a miss and recomputed.
 func (e *Engine) computePoint(c Config) Point {
 	src, err := e.resolveSource(c)
 	if err != nil {
@@ -326,14 +345,14 @@ func (e *Engine) computePoint(c Config) Point {
 		ok, err := d.Get(kindPoint, pk, &pt)
 		if err != nil {
 			e.diskErrors.Add(1)
-		} else if ok {
+		} else if ok && pt.Err == "" {
 			e.pointDiskHits.Add(1)
 			return pt
 		}
 	}
 	pt := e.synthesize(c, src)
 	e.pointComputed.Add(1)
-	if d != nil {
+	if d != nil && pt.Err == "" {
 		if err := d.Put(kindPoint, pk, pt); err != nil {
 			e.diskErrors.Add(1)
 		}
@@ -370,7 +389,7 @@ func (e *Engine) synthesize(c Config, src *sourceEntry) Point {
 	pt.FUs = ba.Stats.FUs
 	pt.Rounds = fa.Rounds
 	if e.SimTrials > 0 {
-		lat, err := e.simulate(src.prog, ba.Module, c)
+		lat, err := e.simulate(src, ba.Module, c)
 		if err != nil {
 			pt.Err = err.Error()
 			return pt
@@ -381,14 +400,18 @@ func (e *Engine) synthesize(c Config, src *sourceEntry) Point {
 }
 
 // simulate measures the worst per-activation cycle count over SimTrials
-// random stimulus vectors, seeded from the config hash for determinism.
-func (e *Engine) simulate(input *ir.Program, mod *rtl.Module, c Config) (int, error) {
-	rng := rand.New(rand.NewSource(int64(c.Key())))
+// random stimulus vectors. The stimulus stream is seeded from the full
+// (source fingerprint, canonical config) pair — not the bare config
+// hash, which would hand two configs the same stimulus whenever their
+// canonical strings collide across sources, and would keep stimulus
+// correlated across sweep axes that don't reach the simulator.
+func (e *Engine) simulate(src *sourceEntry, mod *rtl.Module, c Config) (int, error) {
+	rng := rand.New(rand.NewSource(simSeed(src.fingerprint, c)))
 	max := 0
 	for trial := 0; trial < e.SimTrials; trial++ {
-		env := interp.RandomEnv(input, rng)
+		env := interp.RandomEnv(src.prog, rng)
 		sim := rtlsim.New(mod)
-		if err := sim.LoadEnv(input, env); err != nil {
+		if err := sim.LoadEnv(src.prog, env); err != nil {
 			return 0, err
 		}
 		cycles, err := sim.Run(1 << 22)
@@ -400,6 +423,18 @@ func (e *Engine) simulate(input *ir.Program, mod *rtl.Module, c Config) (int, er
 		}
 	}
 	return max, nil
+}
+
+// simSeed derives the deterministic simulation seed from everything the
+// stimulus must be independent over: the source program's content
+// fingerprint and the canonical config string.
+func simSeed(sourceFingerprint string, c Config) int64 {
+	h := fnv.New64a()
+	h.Write([]byte("sim|"))
+	h.Write([]byte(sourceFingerprint))
+	h.Write([]byte{'|'})
+	h.Write([]byte(c.String()))
+	return int64(h.Sum64())
 }
 
 // Variant names one toggle combination of the sweep grid.

@@ -1,0 +1,194 @@
+package explore
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Genetic is a small steady-generation genetic algorithm over a Space:
+// tournament selection, order-preserving (OX1) crossover on the motion
+// permutation, uniform knob inheritance, and per-knob prefix-biased
+// mutation. Elites carry over unchanged, so the best-so-far never
+// regresses. Each generation is scored as one engine batch, so the
+// worker pool parallelizes within a generation while the trajectory
+// stays seed-deterministic.
+type Genetic struct {
+	// Population size (default 12; the identity candidate — the paper's
+	// coordinated plan — is always seeded into the first generation).
+	Population int
+	// Generations caps evolution (0 = until the budget runs out or
+	// staleRounds consecutive generations discover nothing new).
+	Generations int
+	// TournamentK is the selection tournament size (default 3).
+	TournamentK int
+	// CrossoverRate is the probability a child is bred from two parents
+	// rather than cloned from one (default 0.9).
+	CrossoverRate float64
+	// MutationRate is the per-child probability of one mutation move
+	// (default 0.5). Mutation positions are tail-biased (see
+	// Space.mutate), preserving pass-list prefixes.
+	MutationRate float64
+	// Elite is the number of best candidates copied unchanged into the
+	// next generation (default 1).
+	Elite int
+}
+
+func (g Genetic) Name() string { return "genetic" }
+
+// defaults fills zero fields; the zero value is a usable configuration.
+func (g Genetic) defaults() Genetic {
+	if g.Population <= 0 {
+		g.Population = 12
+	}
+	if g.TournamentK <= 0 {
+		g.TournamentK = 3
+	}
+	if g.CrossoverRate <= 0 {
+		g.CrossoverRate = 0.9
+	}
+	if g.MutationRate <= 0 {
+		g.MutationRate = 0.5
+	}
+	if g.Elite <= 0 {
+		g.Elite = 1
+	}
+	if g.Elite > g.Population {
+		g.Elite = g.Population
+	}
+	return g
+}
+
+// scored pairs a candidate with its objective value for ranking.
+type scored struct {
+	cand  candidate
+	score float64
+}
+
+func (g Genetic) Search(eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result {
+	g = g.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	run := newSearchRun(eng, &sp, obj, b, g.Name(), seed)
+
+	// Found the first generation on the identity plan — paired with its
+	// chaining flip, the guaranteed frontend-sharing probe of the
+	// scheduler knob — plus random draws.
+	pop := make([]candidate, 0, g.Population)
+	pop = append(pop, sp.identity())
+	if sp.ToggleChaining && g.Population > 1 {
+		flip := sp.identity()
+		flip.chain = !flip.chain
+		pop = append(pop, flip)
+	}
+	for len(pop) < g.Population {
+		pop = append(pop, sp.random(rng))
+	}
+	ranked := g.rank(run, pop)
+	if len(ranked) == 0 {
+		return run.result
+	}
+
+	stale := 0
+	for gen := 0; !run.out() && stale < staleRounds; gen++ {
+		if g.Generations > 0 && gen >= g.Generations {
+			break
+		}
+		before := run.result.Evaluations
+		next := make([]candidate, 0, g.Population)
+		for i := 0; i < g.Elite && i < len(ranked); i++ {
+			next = append(next, ranked[i].cand.clone())
+		}
+		for len(next) < g.Population {
+			child := g.tournament(ranked, rng).cand.clone()
+			if rng.Float64() < g.CrossoverRate {
+				mate := g.tournament(ranked, rng)
+				child = crossover(child, mate.cand, rng)
+			}
+			if rng.Float64() < g.MutationRate {
+				sp.mutate(&child, rng)
+			}
+			next = append(next, child)
+		}
+		ranked = g.rank(run, next)
+		if len(ranked) == 0 {
+			break // budget cut the whole generation
+		}
+		run.result.Generations = gen + 1
+		if run.result.Evaluations == before {
+			stale++
+		} else {
+			stale = 0
+		}
+	}
+	return run.result
+}
+
+// rank scores a population as one engine batch and returns the scored
+// survivors best-first (stable under equal scores, so ranking — and the
+// whole run — is deterministic). Candidates the budget left unscored are
+// dropped.
+func (g Genetic) rank(run *searchRun, pop []candidate) []scored {
+	vals, ok := run.scores(pop)
+	ranked := make([]scored, 0, len(pop))
+	for i := range pop {
+		if ok[i] {
+			ranked = append(ranked, scored{cand: pop[i], score: vals[i]})
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
+	return ranked
+}
+
+// tournament draws TournamentK candidates with replacement and returns
+// the fittest.
+func (g Genetic) tournament(ranked []scored, rng *rand.Rand) scored {
+	best := ranked[rng.Intn(len(ranked))]
+	for i := 1; i < g.TournamentK; i++ {
+		if c := ranked[rng.Intn(len(ranked))]; c.score < best.score {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover breeds a child from two candidates: OX1 order crossover on
+// the motion permutation (a contiguous slice of a's ordering survives in
+// place; the rest fills in b's relative order, preserving precedence
+// structure from both parents) plus uniform inheritance of the mask and
+// the scalar knobs.
+func crossover(a candidate, b candidate, rng *rand.Rand) candidate {
+	child := a.clone()
+	n := len(a.order)
+	if n > 1 {
+		lo, hi := rng.Intn(n), rng.Intn(n)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		kept := make([]bool, n)
+		for i := lo; i <= hi; i++ {
+			kept[a.order[i]] = true
+		}
+		fill := hi + 1
+		for _, m := range b.order {
+			if kept[m] {
+				continue
+			}
+			child.order[fill%n] = m
+			fill++
+		}
+	}
+	for i := range child.mask {
+		if rng.Intn(2) == 0 {
+			child.mask[i] = b.mask[i]
+		}
+	}
+	if rng.Intn(2) == 0 {
+		child.unroll = b.unroll
+	}
+	if rng.Intn(2) == 0 {
+		child.size = b.size
+	}
+	if rng.Intn(2) == 0 {
+		child.chain = b.chain
+	}
+	return child
+}

@@ -12,10 +12,16 @@ import (
 )
 
 // SchemaVersion versions the engine's own on-disk artifact schema (the
-// blob layouts below and the point-key recipe). The full disk schema
-// string also folds in the stage versions of internal/core, so bumping
-// either side invalidates persisted artifacts cleanly.
-const SchemaVersion = 1
+// blob layouts below, the point-key recipe, and anything else that
+// changes the meaning of a persisted point — e.g. the simulation seed
+// derivation). The full disk schema string also folds in the stage
+// versions of internal/core, so bumping either side invalidates
+// persisted artifacts cleanly.
+//
+// v2: simulation stimulus is seeded from (source fingerprint, canonical
+// config) instead of the bare config hash, so persisted v1 latencies no
+// longer reproduce.
+const SchemaVersion = 2
 
 // Artifact kinds in the disk store.
 const (
@@ -53,6 +59,18 @@ func (e *Engine) diskStore() *cache.Store {
 	return e.disk.store
 }
 
+// CacheGC evicts cold artifacts from the engine's disk cache until it
+// fits maxBytes, oldest-access-first (see cache.Store.GC — artifacts
+// under retired schema versions go first). It errors when the engine has
+// no usable disk layer.
+func (e *Engine) CacheGC(maxBytes int64) (cache.GCStat, error) {
+	d := e.diskStore()
+	if d == nil {
+		return cache.GCStat{}, fmt.Errorf("explore: no disk cache configured")
+	}
+	return d.GC(maxBytes)
+}
+
 // pointDiskKey keys a fully evaluated configuration on disk. Unlike the
 // in-memory point cache (scoped to one engine, where the source table
 // and SimTrials are fixed), the disk key must identify everything the
@@ -84,7 +102,10 @@ func sourceID(c Config) string {
 }
 
 // resolveSource returns the (memoized) program and fingerprint for a
-// config's source.
+// config's source. Like the point cache (see Evaluate), resolution
+// failures are not memoized: concurrent callers share one attempt, but
+// the error entry is dropped so a later lookup re-resolves — a source
+// generator that failed transiently gets retried.
 func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
 	id := sourceID(c)
 	e.mu.Lock()
@@ -117,6 +138,13 @@ func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
 		}
 		se.fingerprint = ir.Fingerprint(se.prog)
 	})
+	if se.err != nil {
+		e.mu.Lock()
+		if e.sources[id] == se {
+			delete(e.sources, id)
+		}
+		e.mu.Unlock()
+	}
 	return se, se.err
 }
 
@@ -129,7 +157,10 @@ type frontEntry struct {
 
 // frontend returns the frontend artifact for (source, options), running
 // the transformation pipeline at most once per stage key — in-memory
-// first, then the disk layer, then computation.
+// first, then the disk layer, then computation. Failed runs follow the
+// engine's no-sticky-errors rule: the error entry is dropped after the
+// shared attempt, so later lookups retry instead of serving the failure
+// forever.
 func (e *Engine) frontend(src *sourceEntry, o core.FrontendOptions) (*core.FrontendArtifact, error) {
 	key := core.FrontendKeyFrom(src.fingerprint, o)
 	if key == "" {
@@ -166,6 +197,13 @@ func (e *Engine) frontend(src *sourceEntry, o core.FrontendOptions) (*core.Front
 			e.storeFrontend(key, fe.fa, enc)
 		}
 	})
+	if fe.err != nil {
+		e.mu.Lock()
+		if e.fronts[key] == fe {
+			delete(e.fronts, key)
+		}
+		e.mu.Unlock()
+	}
 	return fe.fa, fe.err
 }
 
