@@ -38,18 +38,25 @@ type benchCacheStat struct {
 
 // benchReport is the BENCH_explore.json schema consumed by CI trend
 // tracking. Speedups are cold-time over the regime's time (higher is
-// better; the caches are the product being measured).
+// better; the caches are the product being measured). CacheSchema and
+// StageVersions identify the cache generation the trajectory was
+// measured under: archived reports are only comparable when they match,
+// and a stage-version bump shows up as a schema change instead of a
+// silent performance cliff (a bump retires every disk artifact, so the
+// first post-bump run is legitimately cold).
 type benchReport struct {
-	Schema          string     `json:"schema"`
-	Timestamp       string     `json:"timestamp"`
-	GoOS            string     `json:"goos"`
-	GoArch          string     `json:"goarch"`
-	CPUs            int        `json:"cpus"`
-	Workers         int        `json:"workers"`
-	SimTrials       int        `json:"sim_trials"`
-	Runs            []benchRun `json:"runs"`
-	WarmSpeedup     float64    `json:"warm_speedup"`
-	DiskWarmSpeedup float64    `json:"disk_warm_speedup"`
+	Schema          string                `json:"schema"`
+	Timestamp       string                `json:"timestamp"`
+	CacheSchema     string                `json:"cache_schema"`
+	StageVersions   explore.StageVersions `json:"stage_versions"`
+	GoOS            string                `json:"goos"`
+	GoArch          string                `json:"goarch"`
+	CPUs            int                   `json:"cpus"`
+	Workers         int                   `json:"workers"`
+	SimTrials       int                   `json:"sim_trials"`
+	Runs            []benchRun            `json:"runs"`
+	WarmSpeedup     float64               `json:"warm_speedup"`
+	DiskWarmSpeedup float64               `json:"disk_warm_speedup"`
 }
 
 // runBenchJSON measures the exploration-cache trajectory — cold, warm
@@ -98,9 +105,11 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	}
 
 	report := benchReport{
-		Schema:    "sparkgo/bench-explore/v1",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoOS:      runtime.GOOS, GoArch: runtime.GOARCH,
+		Schema:        "sparkgo/bench-explore/v2",
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		CacheSchema:   explore.DiskSchema(),
+		StageVersions: explore.Versions(),
+		GoOS:          runtime.GOOS, GoArch: runtime.GOARCH,
 		CPUs: runtime.NumCPU(), SimTrials: simTrials,
 	}
 

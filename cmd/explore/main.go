@@ -40,12 +40,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"sparkgo/internal/experiments"
 	"sparkgo/internal/explore"
@@ -72,6 +76,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "search wall-clock budget (0 = unbounded)")
 	seed := flag.Int64("seed", 1, "search RNG seed (same seed, same trajectory)")
 	searchJSON := flag.String("search-json", "", "write the search summary to this JSON file (with -search)")
+	remote := flag.String("remote", "", "ship -sweep/-search jobs to a sparkd daemon at this address instead of running locally")
 	flag.Parse()
 
 	printTable := func(t *report.Table) {
@@ -101,6 +106,15 @@ func main() {
 		}
 	}
 
+	if *remote != "" && !*sweep && !*search {
+		fmt.Fprintln(os.Stderr, "-remote requires -sweep or -search (experiments run locally)")
+		os.Exit(1)
+	}
+	if *remote != "" && *searchJSON != "" {
+		fmt.Fprintln(os.Stderr, "-search-json is not supported with -remote (the daemon's /v1/jobs/{id} JSON is the machine-readable result)")
+		os.Exit(1)
+	}
+
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *sizes, *workers, *sim); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json FAILED: %v\n", err)
@@ -109,11 +123,22 @@ func main() {
 		return
 	}
 
+	// Ctrl-C (and SIGTERM) cancel in-flight sweeps and searches at the
+	// next evaluation-batch boundary instead of running to completion;
+	// a second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *search {
-		err := runSearch(*strategy, *objective, *n, *budget, *deadline, *seed,
-			*workers, *sim, *cacheDir, *searchJSON, printTable)
-		if err == nil {
-			err = runCacheGC(*cacheDir, *cacheMaxBytes)
+		var err error
+		if *remote != "" {
+			err = runRemoteSearch(ctx, *remote, *strategy, *objective, *n, *budget, *deadline, *seed, printTable)
+		} else {
+			err = runSearch(ctx, *strategy, *objective, *n, *budget, *deadline, *seed,
+				*workers, *sim, *cacheDir, *searchJSON, printTable)
+			if err == nil {
+				err = runCacheGC(*cacheDir, *cacheMaxBytes)
+			}
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "search FAILED: %v\n", err)
@@ -123,9 +148,14 @@ func main() {
 	}
 
 	if *sweep {
-		err := runSweep(*sizes, *srcFiles, *cacheDir, *workers, *sim, printTable)
-		if err == nil {
-			err = runCacheGC(*cacheDir, *cacheMaxBytes)
+		var err error
+		if *remote != "" {
+			err = runRemoteSweep(ctx, *remote, *sizes, *srcFiles, *deadline, printTable)
+		} else {
+			err = runSweepLocal(ctx, *sizes, *srcFiles, *cacheDir, *workers, *sim, *deadline, printTable)
+			if err == nil {
+				err = runCacheGC(*cacheDir, *cacheMaxBytes)
+			}
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep FAILED: %v\n", err)
@@ -250,10 +280,17 @@ func loadSources(fileList string) (map[string]*ir.Program, []string, error) {
 	return sources, names, nil
 }
 
-// runSweep executes the standalone exploration sweep and prints the point
-// cloud, the Pareto frontier, and the engine's cache statistics.
-func runSweep(sizeList, srcFiles, cacheDir string, workers, simTrials int,
-	printTable func(*report.Table)) error {
+// runSweepLocal executes the standalone exploration sweep and prints the
+// point cloud, the Pareto frontier, and the engine's cache statistics.
+// The context (SIGINT/SIGTERM) and the -deadline flag both cancel the
+// sweep mid-run; a cancelled sweep reports how far it got and fails.
+func runSweepLocal(ctx context.Context, sizeList, srcFiles, cacheDir string,
+	workers, simTrials int, deadline time.Duration, printTable func(*report.Table)) error {
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
 	var space []explore.Config
 	if srcFiles != "" {
@@ -270,16 +307,23 @@ func runSweep(sizeList, srcFiles, cacheDir string, workers, simTrials int,
 		}
 		space = explore.Grid(sizes, explore.Variants(), []int{0, 8}, true)
 	}
-	pts := eng.Sweep(space)
+	pts := eng.SweepContext(ctx, space)
 	printTable(explore.Table(fmt.Sprintf("design-space sweep (%d configs)", len(space)), pts))
 	printTable(explore.Table("latency/area Pareto frontier", explore.Frontier(pts)))
 	printTable(cacheTable(eng.Stats()))
 	fmt.Printf("workers: %d\n", eng.EffectiveWorkers(len(space)))
-	failed := 0
+	failed, skipped := 0, 0
 	for _, p := range pts {
-		if p.Err != "" {
+		switch {
+		case explore.IsCanceled(p):
+			skipped++
+		case p.Err != "":
 			failed++
 		}
+	}
+	if skipped > 0 {
+		return fmt.Errorf("sweep canceled: %d of %d configurations not evaluated (%v)",
+			skipped, len(space), context.Cause(ctx))
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d configurations failed", failed, len(space))

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sparkgo/internal/report"
+	"sparkgo/internal/service"
+)
+
+// remoteClient ships jobs to a sparkd daemon instead of evaluating them
+// in-process: the -remote mode of cmd/explore. The flags keep their
+// local meaning; only the execution venue changes — and with it the
+// caches, which the daemon shares across every client.
+type remoteClient struct {
+	base string // http://host:port
+	http *http.Client
+}
+
+func newRemoteClient(addr string) *remoteClient {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &remoteClient{
+		base: strings.TrimRight(addr, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// do round-trips one API call, decoding the JSON payload into out. The
+// context cancels the call (Ctrl-C mid-poll aborts the client; the
+// daemon keeps running its job — DELETE it to stop the work too).
+func (c *remoteClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, eb.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// submitAndWait submits one job and polls it to a terminal status,
+// reporting queue progress on stderr. Context cancellation (Ctrl-C)
+// stops polling, cancels the remote job, and returns the context error.
+func (c *remoteClient) submitAndWait(ctx context.Context, req service.Request) (service.JobView, error) {
+	var job service.JobView
+	if err := c.do(ctx, "POST", "/v1/jobs", req, &job); err != nil {
+		return job, err
+	}
+	if job.Deduped {
+		fmt.Fprintf(os.Stderr, "remote: job %s deduped onto an in-flight identical request\n", job.ID)
+	} else {
+		fmt.Fprintf(os.Stderr, "remote: job %s submitted\n", job.ID)
+	}
+	for !job.Status.Terminal() {
+		select {
+		case <-ctx.Done():
+			return job, c.abandon(job.ID, ctx.Err())
+		case <-time.After(200 * time.Millisecond):
+		}
+		if err := c.do(ctx, "GET", "/v1/jobs/"+job.ID, nil, &job); err != nil {
+			// Cancellation can also surface as a transport error on the
+			// in-flight poll; the abandoned job still must be cancelled.
+			if ctx.Err() != nil {
+				return job, c.abandon(job.ID, ctx.Err())
+			}
+			return job, err
+		}
+	}
+	if job.Status == service.StatusFailed {
+		return job, fmt.Errorf("remote job %s failed: %s", job.ID, job.Error)
+	}
+	if job.Status == service.StatusCanceled {
+		return job, fmt.Errorf("remote job %s was canceled", job.ID)
+	}
+	return job, nil
+}
+
+// abandon best-effort-cancels a remote job the interrupted client will
+// never collect, so the daemon doesn't keep running it. The DELETE gets
+// a fresh context — the caller's is the one that just died.
+func (c *remoteClient) abandon(jobID string, cause error) error {
+	cancelCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	defer stop()
+	_ = c.do(cancelCtx, "DELETE", "/v1/jobs/"+jobID, nil, nil)
+	return fmt.Errorf("interrupted; remote job %s cancelled: %w", jobID, cause)
+}
+
+// remoteStatsTables renders the daemon's /v1/stats as the same cache
+// table local runs print, plus the queue's job accounting.
+func (c *remoteClient) remoteStatsTables(ctx context.Context) ([]*report.Table, error) {
+	var st service.StatsView
+	if err := c.do(ctx, "GET", "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	t := report.New(fmt.Sprintf("daemon cache statistics (schema %s)", st.CacheSchema),
+		"layer", "memory hits", "disk hits", "computed", "disk errors")
+	t.Add("point", st.Engine.PointMemHits, st.Engine.PointDiskHits, st.Engine.PointComputed, "")
+	t.Add("frontend stage", st.Engine.FrontendMemHits, st.Engine.FrontendDiskHits, st.Engine.FrontendComputed, "")
+	t.Add("disk", "", "", "", st.Engine.DiskErrors)
+	q := report.New("daemon queue statistics", "metric", "value")
+	q.Add("submitted", st.Queue.Submitted)
+	q.Add("coalesced (single-flight)", st.Queue.Coalesced)
+	q.Add("queued", st.Queue.Queued)
+	q.Add("running", st.Queue.Running)
+	q.Add("done", st.Queue.Done)
+	q.Add("failed", st.Queue.Failed)
+	q.Add("canceled", st.Queue.Canceled)
+	return []*report.Table{t, q}, nil
+}
+
+// pointTable renders remote point views in the local sweep-table shape.
+func pointTable(title string, pts []service.PointView) *report.Table {
+	t := report.New(title,
+		"config", "cycles", "latency", "crit path (gu)", "area", "muxes", "FUs", "err")
+	for _, p := range pts {
+		t.Add(p.Config, p.Cycles, p.Latency, p.CritPath, p.Area, p.Muxes, p.FUs, p.Err)
+	}
+	return t
+}
+
+// runRemoteSweep ships the -sweep flags to the daemon: one job for the
+// generator grid, or one per -src file (each file is its own source
+// space, matching the local batched sweep's per-source grids). The
+// -deadline flag maps to the job's hard deadline — the same fail-fast
+// semantics the local sweep gives it.
+func runRemoteSweep(ctx context.Context, addr, sizeList, srcFiles string,
+	deadline time.Duration, printTable func(*report.Table)) error {
+	c := newRemoteClient(addr)
+	var reqs []service.Request
+	if srcFiles != "" {
+		for _, path := range strings.Split(srcFiles, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			text, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, service.Request{
+				Kind: service.KindSweep, Source: string(text), Classical: true,
+				DeadlineMS: deadline.Milliseconds(),
+			})
+		}
+		if len(reqs) == 0 {
+			return fmt.Errorf("no source files given")
+		}
+	} else {
+		sizes, err := parseSizes(sizeList)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, service.Request{
+			Kind: service.KindSweep, Sizes: sizes, Classical: true,
+			DeadlineMS: deadline.Milliseconds(),
+		})
+	}
+	for _, req := range reqs {
+		job, err := c.submitAndWait(ctx, req)
+		if err != nil {
+			return err
+		}
+		res := job.Result
+		if res == nil {
+			return fmt.Errorf("remote job %s: done without result", job.ID)
+		}
+		title := fmt.Sprintf("remote design-space sweep (%d configs, job %s)", len(res.Points), job.ID)
+		printTable(pointTable(title, res.Points))
+		printTable(pointTable("latency/area Pareto frontier", res.Frontier))
+		if res.SourceFingerprint != "" {
+			fmt.Printf("source fingerprint: %s (reuse via source_ref)\n", res.SourceFingerprint)
+		}
+	}
+	tables, err := c.remoteStatsTables(ctx)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		printTable(t)
+	}
+	return nil
+}
+
+// runRemoteSearch ships the -search flags to the daemon. The -deadline
+// flag maps to the job's *soft* search budget (budget_ms), matching the
+// local semantics: the search stops gracefully at the deadline and
+// still reports its best design, rather than failing the job.
+func runRemoteSearch(ctx context.Context, addr, strategy, objective string, n, budgetEvals int,
+	deadline time.Duration, seed int64, printTable func(*report.Table)) error {
+	c := newRemoteClient(addr)
+	job, err := c.submitAndWait(ctx, service.Request{
+		Kind: service.KindSearch, N: n,
+		Strategy: strategy, Objective: objective,
+		Budget: budgetEvals, Seed: seed,
+		BudgetMS: deadline.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	res := job.Result
+	if res == nil || res.Search == nil {
+		return fmt.Errorf("remote job %s: done without search result", job.ID)
+	}
+	sv := res.Search
+	t := report.New(
+		fmt.Sprintf("remote adaptive search: %s over n=%d (objective=%s seed=%d, job %s)",
+			sv.Strategy, n, sv.Objective, sv.Seed, job.ID),
+		"evaluation", "score", "latency", "area", "config")
+	for _, s := range sv.Trajectory {
+		t.Add(s.Evaluation, s.Score, s.Point.Latency, s.Point.Area, s.Point.Config)
+	}
+	printTable(t)
+	sum := report.New("remote search summary", "metric", "value")
+	sum.Add("evaluations", sv.Evaluations)
+	sum.Add("revisits (free)", sv.Revisits)
+	sum.Add("exhausted budget", sv.Exhausted)
+	if sv.Best != nil {
+		sum.Add("best score", sv.BestScore)
+		sum.Add("best latency", sv.Best.Latency)
+		sum.Add("best area", sv.Best.Area)
+		sum.Add("best config", sv.Best.Config)
+	}
+	printTable(sum)
+	tables, err := c.remoteStatsTables(ctx)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		printTable(t)
+	}
+	return nil
+}

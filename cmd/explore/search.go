@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -22,38 +23,44 @@ type searchStep struct {
 }
 
 // searchReport is the BENCH_search.json schema consumed by CI trend
-// tracking, the adaptive-search sibling of benchReport.
+// tracking, the adaptive-search sibling of benchReport. CacheSchema and
+// StageVersions identify the cache generation the run was measured
+// under: archived reports are only comparable when they match, and a
+// stage-version bump shows up as a schema change instead of a silent
+// performance cliff.
 type searchReport struct {
-	Schema      string         `json:"schema"`
-	Timestamp   string         `json:"timestamp"`
-	GoOS        string         `json:"goos"`
-	GoArch      string         `json:"goarch"`
-	CPUs        int            `json:"cpus"`
-	N           int            `json:"n"`
-	Strategy    string         `json:"strategy"`
-	Objective   string         `json:"objective"`
-	Seed        int64          `json:"seed"`
-	Budget      int            `json:"budget"`
-	Nanos       int64          `json:"ns"`
-	Evaluations int            `json:"evaluations"`
-	Revisits    int            `json:"revisits"`
-	Restarts    int            `json:"restarts,omitempty"`
-	Generations int            `json:"generations,omitempty"`
-	Exhausted   bool           `json:"exhausted"`
-	BestScore   float64        `json:"best_score"`
-	BestConfig  string         `json:"best_config"`
-	BestLatency int            `json:"best_latency"`
-	BestArea    float64        `json:"best_area"`
-	Trajectory  []searchStep   `json:"trajectory"`
-	Cache       benchCacheStat `json:"cache"`
+	Schema        string                `json:"schema"`
+	Timestamp     string                `json:"timestamp"`
+	CacheSchema   string                `json:"cache_schema"`
+	StageVersions explore.StageVersions `json:"stage_versions"`
+	GoOS          string                `json:"goos"`
+	GoArch        string                `json:"goarch"`
+	CPUs          int                   `json:"cpus"`
+	N             int                   `json:"n"`
+	Strategy      string                `json:"strategy"`
+	Objective     string                `json:"objective"`
+	Seed          int64                 `json:"seed"`
+	Budget        int                   `json:"budget"`
+	Nanos         int64                 `json:"ns"`
+	Evaluations   int                   `json:"evaluations"`
+	Revisits      int                   `json:"revisits"`
+	Restarts      int                   `json:"restarts,omitempty"`
+	Generations   int                   `json:"generations,omitempty"`
+	Exhausted     bool                  `json:"exhausted"`
+	BestScore     float64               `json:"best_score"`
+	BestConfig    string                `json:"best_config"`
+	BestLatency   int                   `json:"best_latency"`
+	BestArea      float64               `json:"best_area"`
+	Trajectory    []searchStep          `json:"trajectory"`
+	Cache         benchCacheStat        `json:"cache"`
 }
 
 // runSearch drives one adaptive search over the default space at scale n
 // and prints the trajectory, the best design, and the engine's cache
 // statistics; jsonPath != "" additionally writes the machine-readable
 // summary CI archives as BENCH_search.json.
-func runSearch(strategy, objective string, n, budgetEvals int, deadline time.Duration,
-	seed int64, workers, simTrials int, cacheDir, jsonPath string,
+func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals int,
+	deadline time.Duration, seed int64, workers, simTrials int, cacheDir, jsonPath string,
 	printTable func(*report.Table)) error {
 	st, err := explore.StrategyByName(strategy)
 	if err != nil {
@@ -70,13 +77,16 @@ func runSearch(strategy, objective string, n, budgetEvals int, deadline time.Dur
 	budget := explore.Budget{MaxEvaluations: budgetEvals, MaxDuration: deadline}
 
 	start := time.Now()
-	res := st.Search(eng, explore.DefaultSpace(n), obj, budget, seed)
+	res := st.SearchContext(ctx, eng, explore.DefaultSpace(n), obj, budget, seed)
 	elapsed := time.Since(start)
 
 	// A BestScore still at +Inf means no candidate ever evaluated
 	// successfully: res.Best is the zero Point, not a design (and +Inf
 	// does not survive JSON marshaling).
 	if math.IsInf(res.BestScore, 1) {
+		if res.Canceled {
+			return fmt.Errorf("search canceled before any configuration was evaluated")
+		}
 		return fmt.Errorf("search found no successful design: every evaluated configuration failed")
 	}
 
@@ -99,6 +109,9 @@ func runSearch(strategy, objective string, n, budgetEvals int, deadline time.Dur
 		sum.Add("generations", res.Generations)
 	}
 	sum.Add("exhausted budget", res.Exhausted)
+	if res.Canceled {
+		sum.Add("canceled", true)
+	}
 	sum.Add("best score", res.BestScore)
 	sum.Add("best latency", res.Best.Latency)
 	sum.Add("best area", res.Best.Area)
@@ -114,9 +127,11 @@ func runSearch(strategy, objective string, n, budgetEvals int, deadline time.Dur
 	if jsonPath != "" {
 		stats := eng.Stats()
 		rep := searchReport{
-			Schema:    "sparkgo/bench-search/v1",
-			Timestamp: time.Now().UTC().Format(time.RFC3339),
-			GoOS:      runtime.GOOS, GoArch: runtime.GOARCH, CPUs: runtime.NumCPU(),
+			Schema:        "sparkgo/bench-search/v2",
+			Timestamp:     time.Now().UTC().Format(time.RFC3339),
+			CacheSchema:   explore.DiskSchema(),
+			StageVersions: explore.Versions(),
+			GoOS:          runtime.GOOS, GoArch: runtime.GOARCH, CPUs: runtime.NumCPU(),
 			N: n, Strategy: res.Strategy, Objective: objective, Seed: seed,
 			Budget: budgetEvals, Nanos: elapsed.Nanoseconds(),
 			Evaluations: res.Evaluations, Revisits: res.Revisits,
@@ -152,6 +167,11 @@ func runSearch(strategy, objective string, n, budgetEvals int, deadline time.Dur
 		fmt.Printf("wrote %s: %s found score %.1f in %d evaluations (%.1fms)\n",
 			jsonPath, res.Strategy, res.BestScore, res.Evaluations,
 			float64(elapsed.Nanoseconds())/1e6)
+	}
+	if res.Canceled {
+		// The partial trajectory was reported (and the JSON written);
+		// the exit code still says the run did not complete.
+		return fmt.Errorf("search canceled after %d evaluations", res.Evaluations)
 	}
 	return nil
 }

@@ -1,0 +1,123 @@
+// Command sparkd is the synthesis-as-a-service daemon: a long-running
+// HTTP/JSON server that runs synth, sweep, and search jobs from many
+// clients on a bounded worker pool over ONE shared exploration engine,
+// so every request amortizes the same in-memory stage cache and disk
+// cache, and identical in-flight requests are single-flighted.
+//
+//	sparkd [-addr :8341] [-workers 0] [-sim 1]
+//	       [-cache-dir .sparkd-cache] [-cache-max-bytes 0]
+//	       [-addr-file path] [-drain-timeout 30s]
+//
+// -workers bounds concurrent jobs (0 = one per CPU); each job's sweeps
+// additionally parallelize over the engine's own pool. -cache-dir
+// persists stage artifacts across restarts; -cache-max-bytes keeps the
+// directory under a byte budget (GC runs after jobs finish, oldest
+// artifacts first). -addr-file writes the bound address — useful with
+// -addr 127.0.0.1:0 when scripts need the kernel-chosen port.
+//
+// SIGINT/SIGTERM drain gracefully: intake stops (submits answer 503),
+// accepted jobs finish, and only then does the process exit;
+// -drain-timeout caps the wait, after which outstanding jobs are
+// cancelled at their next evaluation-batch boundary.
+//
+// API surface (see internal/service):
+//
+//	POST   /v1/jobs        {"kind":"synth"|"sweep"|"search", ...}
+//	GET    /v1/jobs        list
+//	GET    /v1/jobs/{id}   poll; terminal jobs carry results inline
+//	DELETE /v1/jobs/{id}   cancel
+//	GET    /v1/stats       cache/queue/GC counters + cache schema
+//	GET    /healthz        liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sparkgo/internal/explore"
+	"sparkgo/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8341", "listen address (host:0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 0, "job worker-pool size (0 = one per CPU)")
+	engineWorkers := flag.Int("engine-workers", 0, "per-sweep engine worker-pool size (0 = one per CPU)")
+	sim := flag.Int("sim", 1, "per-config rtlsim latency trials (0 = report FSM states)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed exploration cache directory shared by every job")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "garbage-collect the cache directory down to this many bytes after jobs (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown before cancelling them")
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, *workers, *engineWorkers, *sim, *cacheDir, *cacheMaxBytes, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "sparkd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, workers, engineWorkers, sim int, cacheDir string,
+	cacheMaxBytes int64, drainTimeout time.Duration) error {
+	eng := &explore.Engine{Workers: engineWorkers, SimTrials: sim, CacheDir: cacheDir}
+	queue := service.NewQueue(eng, effectiveWorkers(workers), cacheMaxBytes)
+	srv := &http.Server{Handler: service.NewServer(queue)}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("sparkd listening on %s (workers=%d sim=%d cache=%q schema=%s)\n",
+		bound, effectiveWorkers(workers), sim, cacheDir, explore.DiskSchema())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop intake first so clients see 503 rather than
+	// enqueueing work the shutdown will cancel, let accepted jobs
+	// finish (bounded), then close the listener.
+	fmt.Println("sparkd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := queue.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "sparkd: drain cut short: %v\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("sparkd: stopped")
+	return nil
+}
+
+// effectiveWorkers mirrors the engine's 0-means-GOMAXPROCS convention
+// for the job pool.
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,6 +122,18 @@ func (fa *FrontendArtifact) Materialize() []byte {
 	return enc
 }
 
+// FrontendContext is Frontend gated on a context: a context already done
+// returns its error instead of starting the pass pipeline. The pipeline
+// itself runs to completion once started — stage work is the unit of
+// cancellation in the staged flow (see SynthesizeContext), matching the
+// exploration engine's evaluation-batch granularity.
+func FrontendContext(ctx context.Context, input *ir.Program, o FrontendOptions) (*FrontendArtifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Frontend(input, o)
+}
+
 // Frontend runs the transformation stage: clone the input, drive the
 // pass pipeline to a fixed point, validate, and fingerprint the result.
 func Frontend(input *ir.Program, o FrontendOptions) (*FrontendArtifact, error) {
@@ -229,6 +242,15 @@ type MidendArtifact struct {
 	Key      string
 }
 
+// MidendContext is Midend gated on a context (see FrontendContext for
+// the cancellation granularity contract).
+func MidendContext(ctx context.Context, fa *FrontendArtifact, o MidendOptions) (*MidendArtifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Midend(fa, o)
+}
+
 // Midend runs the scheduling stage: clone the frontend artifact's
 // program (artifacts are shared across configurations, so the stage must
 // not mutate its input), lower to the HTG, and schedule under the
@@ -314,6 +336,15 @@ type BackendArtifact struct {
 	Module *rtl.Module
 	Stats  delay.Report
 	Key    string
+}
+
+// BackendContext is Backend gated on a context (see FrontendContext for
+// the cancellation granularity contract).
+func BackendContext(ctx context.Context, ma *MidendArtifact, o BackendOptions) (*BackendArtifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Backend(ma, o)
 }
 
 // Backend runs the binding/netlist stage on a scheduled design.

@@ -22,6 +22,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -233,6 +234,21 @@ type pointEntry struct {
 // hiccup) forever. Deterministic failures — a bad pass spec, an unknown
 // source — simply recompute to the same error each time.
 func (e *Engine) Evaluate(c Config) Point {
+	return e.EvaluateContext(context.Background(), c)
+}
+
+// EvaluateContext is Evaluate under a context. A context already done on
+// entry returns a skipped point (Err = the context error) without
+// touching any cache; cancellation mid-synthesis is observed between
+// stages, and the resulting error point follows the no-sticky-errors
+// rule, so a cancelled evaluation never poisons the caches — the next
+// caller recomputes. When concurrent callers share one in-flight
+// evaluation, the first caller's context governs it; waiters that share
+// a cancelled result simply retry on their next lookup.
+func (e *Engine) EvaluateContext(ctx context.Context, c Config) Point {
+	if err := ctx.Err(); err != nil {
+		return Point{Config: c, Err: err.Error()}
+	}
 	key := c.String()
 	e.mu.Lock()
 	if e.points == nil {
@@ -247,7 +263,7 @@ func (e *Engine) Evaluate(c Config) Point {
 	if cached {
 		e.pointMemHits.Add(1)
 	}
-	en.once.Do(func() { en.pt = e.computePoint(c) })
+	en.once.Do(func() { en.pt = e.computePoint(ctx, c) })
 	if en.pt.Err != "" {
 		e.mu.Lock()
 		if e.points[key] == en {
@@ -256,6 +272,15 @@ func (e *Engine) Evaluate(c Config) Point {
 		e.mu.Unlock()
 	}
 	return en.pt
+}
+
+// IsCanceled reports whether a point was skipped or cut short by context
+// cancellation (or deadline expiry) rather than failing on its own:
+// callers batching evaluations — the adaptive searches, the service
+// queue — must not treat such points as real failures or memoize their
+// scores.
+func IsCanceled(p Point) bool {
+	return p.Err == context.Canceled.Error() || p.Err == context.DeadlineExceeded.Error()
 }
 
 // Stats reports the engine's cumulative cache statistics across sweeps.
@@ -298,11 +323,21 @@ func (e *Engine) EffectiveWorkers(n int) int {
 // the configurations themselves, so sweeps are deterministic regardless
 // of worker count or scheduling.
 func (e *Engine) Sweep(space []Config) []Point {
+	return e.SweepContext(context.Background(), space)
+}
+
+// SweepContext is Sweep under a context: cancellation stops the dispatch
+// of new evaluations immediately and cuts in-flight ones at their next
+// stage boundary. Configurations never evaluated come back as skipped
+// points (Err = the context error; see IsCanceled), so the result slice
+// always matches the input order and length — a cancelled sweep is
+// partial, not torn.
+func (e *Engine) SweepContext(ctx context.Context, space []Config) []Point {
 	out := make([]Point, len(space))
 	workers := e.EffectiveWorkers(len(space))
 	if workers <= 1 {
 		for i, c := range space {
-			out[i] = e.Evaluate(c)
+			out[i] = e.EvaluateContext(ctx, c)
 		}
 		return out
 	}
@@ -313,16 +348,50 @@ func (e *Engine) Sweep(space []Config) []Point {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = e.Evaluate(space[i])
+				out[i] = e.EvaluateContext(ctx, space[i])
 			}
 		}()
 	}
+dispatch:
 	for i := range space {
-		idx <- i
+		select {
+		case <-ctx.Done():
+			// Undelivered indices are exclusively the dispatcher's to
+			// write: workers only touch indices they received.
+			for j := i; j < len(space); j++ {
+				out[j] = Point{Config: space[j], Err: ctx.Err().Error()}
+			}
+			break dispatch
+		case idx <- i:
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return out
+}
+
+// AddSource registers (or replaces) a named source program, safely even
+// while sweeps are running — the long-lived engine behind the service
+// daemon gains sources as clients submit them. Replacing a name does not
+// invalidate points already evaluated under it: the in-memory point
+// cache keys on the name, so a daemon must derive names from program
+// content (a fingerprint) rather than reusing one name for different
+// programs.
+func (e *Engine) AddSource(name string, prog *ir.Program) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.Sources == nil {
+		e.Sources = map[string]*ir.Program{}
+	}
+	e.Sources[name] = prog
+}
+
+// HasSource reports whether a named source is registered.
+func (e *Engine) HasSource(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.Sources[name]
+	return ok
 }
 
 // computePoint resolves a point-cache miss: disk first, then the staged
@@ -331,7 +400,7 @@ func (e *Engine) Sweep(space []Config) []Point {
 // turn a transient failure into a sticky one, served on every later run
 // until the cache was deleted by hand — and an error point found on disk
 // (written by an older engine) is treated as a miss and recomputed.
-func (e *Engine) computePoint(c Config) Point {
+func (e *Engine) computePoint(ctx context.Context, c Config) Point {
 	src, err := e.resolveSource(c)
 	if err != nil {
 		e.pointComputed.Add(1)
@@ -350,7 +419,7 @@ func (e *Engine) computePoint(c Config) Point {
 			return pt
 		}
 	}
-	pt := e.synthesize(c, src)
+	pt := e.synthesize(ctx, c, src)
 	e.pointComputed.Add(1)
 	if d != nil && pt.Err == "" {
 		if err := d.Put(kindPoint, pk, pt); err != nil {
@@ -362,17 +431,27 @@ func (e *Engine) computePoint(c Config) Point {
 
 // synthesize evaluates one configuration through the staged flow,
 // sharing the frontend artifact with every other configuration on the
-// same (source, pass list).
-func (e *Engine) synthesize(c Config, src *sourceEntry) Point {
+// same (source, pass list). Cancellation is observed at the stage
+// boundaries (and per simulation trial), so an abandoned evaluation
+// stops within one stage of work.
+func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Point {
 	pt := Point{Config: c}
 	opt := c.Options()
-	fa, err := e.frontend(src, opt.FrontendOptions())
+	fa, err := e.frontend(ctx, src, opt.FrontendOptions())
 	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	if err := ctx.Err(); err != nil {
 		pt.Err = err.Error()
 		return pt
 	}
 	ma, err := core.Midend(fa, opt.MidendOptions())
 	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	if err := ctx.Err(); err != nil {
 		pt.Err = err.Error()
 		return pt
 	}
@@ -389,7 +468,7 @@ func (e *Engine) synthesize(c Config, src *sourceEntry) Point {
 	pt.FUs = ba.Stats.FUs
 	pt.Rounds = fa.Rounds
 	if e.SimTrials > 0 {
-		lat, err := e.simulate(src, ba.Module, c)
+		lat, err := e.simulate(ctx, src, ba.Module, c)
 		if err != nil {
 			pt.Err = err.Error()
 			return pt
@@ -405,10 +484,13 @@ func (e *Engine) synthesize(c Config, src *sourceEntry) Point {
 // hash, which would hand two configs the same stimulus whenever their
 // canonical strings collide across sources, and would keep stimulus
 // correlated across sweep axes that don't reach the simulator.
-func (e *Engine) simulate(src *sourceEntry, mod *rtl.Module, c Config) (int, error) {
+func (e *Engine) simulate(ctx context.Context, src *sourceEntry, mod *rtl.Module, c Config) (int, error) {
 	rng := rand.New(rand.NewSource(simSeed(src.fingerprint, c)))
 	max := 0
 	for trial := 0; trial < e.SimTrials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		env := interp.RandomEnv(src.prog, rng)
 		sim := rtlsim.New(mod)
 		if err := sim.LoadEnv(src.prog, env); err != nil {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -65,9 +66,15 @@ type scored struct {
 }
 
 func (g Genetic) Search(eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result {
+	return g.SearchContext(context.Background(), eng, sp, obj, b, seed)
+}
+
+// SearchContext is Search under a context: cancellation stops evolution
+// at the next generation boundary, keeping the trajectory found so far.
+func (g Genetic) SearchContext(ctx context.Context, eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result {
 	g = g.defaults()
 	rng := rand.New(rand.NewSource(seed))
-	run := newSearchRun(eng, &sp, obj, b, g.Name(), seed)
+	run := newSearchRun(ctx, eng, &sp, obj, b, g.Name(), seed)
 
 	// Found the first generation on the identity plan — paired with its
 	// chaining flip, the guaranteed frontend-sharing probe of the
@@ -84,6 +91,9 @@ func (g Genetic) Search(eng *Engine, sp Space, obj Objective, b Budget, seed int
 	}
 	ranked := g.rank(run, pop)
 	if len(ranked) == 0 {
+		// Nothing scored: the budget or the context cut the first
+		// generation. out() stamps Exhausted/Canceled on the result.
+		run.out()
 		return run.result
 	}
 
@@ -110,7 +120,8 @@ func (g Genetic) Search(eng *Engine, sp Space, obj Objective, b Budget, seed int
 		}
 		ranked = g.rank(run, next)
 		if len(ranked) == 0 {
-			break // budget cut the whole generation
+			run.out() // stamp Exhausted/Canceled before stopping
+			break     // budget (or cancellation) cut the whole generation
 		}
 		run.result.Generations = gen + 1
 		if run.result.Evaluations == before {

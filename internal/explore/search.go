@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -113,15 +114,23 @@ type Result struct {
 	// Exhausted reports that the run stopped on its budget rather than
 	// on strategy convergence.
 	Exhausted bool
+	// Canceled reports that the run was cut short by context
+	// cancellation (SearchContext); the trajectory up to the cut is
+	// still valid, and Exhausted is set too — a cancelled budget is a
+	// spent budget.
+	Canceled bool
 }
 
 // Strategy is one adaptive search algorithm over a Space. Searches are
 // deterministic: the same (engine-visible state, space, objective,
 // budget, seed) yields the same Result, regardless of how warm the
-// engine's caches are.
+// engine's caches are. SearchContext additionally honors cancellation
+// between evaluation batches — a cancelled run keeps everything scored
+// so far; Search is SearchContext under context.Background().
 type Strategy interface {
 	Name() string
 	Search(eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result
+	SearchContext(ctx context.Context, eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result
 }
 
 // StrategyByName resolves the CLI strategy names: "hill" (steepest-
@@ -142,6 +151,7 @@ func StrategyByName(name string) (Strategy, error) {
 // trajectory. Strategies drive it single-threadedly; batch evaluation
 // is where sweep parallelism comes from.
 type searchRun struct {
+	ctx      context.Context
 	eng      *Engine
 	sp       *Space
 	obj      Objective
@@ -151,9 +161,9 @@ type searchRun struct {
 	result   Result
 }
 
-func newSearchRun(eng *Engine, sp *Space, obj Objective, b Budget, name string, seed int64) *searchRun {
+func newSearchRun(ctx context.Context, eng *Engine, sp *Space, obj Objective, b Budget, name string, seed int64) *searchRun {
 	r := &searchRun{
-		eng: eng, sp: sp, obj: obj, budget: b,
+		ctx: ctx, eng: eng, sp: sp, obj: obj, budget: b,
 		seen:   map[string]float64{},
 		result: Result{Strategy: name, Seed: seed, BestScore: math.Inf(1)},
 	}
@@ -163,9 +173,15 @@ func newSearchRun(eng *Engine, sp *Space, obj Objective, b Budget, name string, 
 	return r
 }
 
-// out reports whether the budget is spent. The first evaluation is
-// always allowed, so every run produces a scored Best.
+// out reports whether the budget is spent or the context is done. The
+// first evaluation is always allowed — unless the run was cancelled
+// before it started — so every uncancelled run produces a scored Best.
 func (r *searchRun) out() bool {
+	if r.ctx.Err() != nil {
+		r.result.Exhausted = true
+		r.result.Canceled = true
+		return true
+	}
 	if r.result.Evaluations == 0 {
 		return false
 	}
@@ -227,9 +243,24 @@ func (r *searchRun) scores(cands []candidate) (scores []float64, ok []bool) {
 		for bi, i := range fresh {
 			batch[bi] = cfgs[i]
 		}
-		pts := r.eng.Sweep(batch)
+		pts := r.eng.SweepContext(r.ctx, batch)
 		for bi, i := range fresh {
 			pt := pts[bi]
+			// A canceled point with our own context still alive was
+			// poisoned by a DIFFERENT caller's cancellation through the
+			// engine's single flight (the computing caller's context
+			// governs a shared evaluation; the engine drops the entry so
+			// waiters retry). Retry here — silently dropping the
+			// candidate would make the search lose arms and turn
+			// nondeterministic on a shared engine.
+			for IsCanceled(pt) && r.ctx.Err() == nil {
+				pt = r.eng.EvaluateContext(r.ctx, batch[bi])
+			}
+			if IsCanceled(pt) {
+				// Our own cancellation: neither a score nor a spent
+				// evaluation. out() will stop the run.
+				continue
+			}
 			s := r.obj(pt)
 			r.seen[keys[i]] = s
 			scores[i], ok[i] = s, true
@@ -288,8 +319,15 @@ func (h HillClimb) Name() string { return "hill-climb" }
 const staleRounds = 5
 
 func (h HillClimb) Search(eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result {
+	return h.SearchContext(context.Background(), eng, sp, obj, b, seed)
+}
+
+// SearchContext is Search under a context: cancellation stops the climb
+// at the next evaluation-batch boundary (a neighborhood), keeping the
+// trajectory found so far.
+func (h HillClimb) SearchContext(ctx context.Context, eng *Engine, sp Space, obj Objective, b Budget, seed int64) Result {
 	rng := rand.New(rand.NewSource(seed))
-	run := newSearchRun(eng, &sp, obj, b, h.Name(), seed)
+	run := newSearchRun(ctx, eng, &sp, obj, b, h.Name(), seed)
 	stale := 0
 	for restart := 0; !run.out() && stale < staleRounds; restart++ {
 		if h.Restarts > 0 && restart > h.Restarts {

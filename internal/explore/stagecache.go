@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,6 +35,28 @@ const (
 func DiskSchema() string {
 	return fmt.Sprintf("explore%d-fe%d-me%d-be%d",
 		SchemaVersion, core.FrontendVersion, core.MidendVersion, core.BackendVersion)
+}
+
+// StageVersions is the exploded form of DiskSchema: every version
+// constant folded into the disk schema, individually addressable.
+// Archived artifacts (BENCH_*.json, service stats) embed it so results
+// stay comparable — and incomparability stays detectable — across
+// stage-version bumps.
+type StageVersions struct {
+	Explore  int `json:"explore"`
+	Frontend int `json:"frontend"`
+	Midend   int `json:"midend"`
+	Backend  int `json:"backend"`
+}
+
+// Versions reports the current stage-version constants.
+func Versions() StageVersions {
+	return StageVersions{
+		Explore:  SchemaVersion,
+		Frontend: core.FrontendVersion,
+		Midend:   core.MidendVersion,
+		Backend:  core.BackendVersion,
+	}
 }
 
 // diskLayer lazily opens the configured cache directory once; open
@@ -120,7 +143,11 @@ func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
 	e.mu.Unlock()
 	se.once.Do(func() {
 		if c.Source != "" {
+			// The source table mutates while the daemon's engine runs
+			// (AddSource), so reads take the engine lock.
+			e.mu.Lock()
 			se.prog = e.Sources[c.Source]
+			e.mu.Unlock()
 			if se.prog == nil {
 				se.err = fmt.Errorf("explore: unknown source %q", c.Source)
 				return
@@ -160,13 +187,14 @@ type frontEntry struct {
 // first, then the disk layer, then computation. Failed runs follow the
 // engine's no-sticky-errors rule: the error entry is dropped after the
 // shared attempt, so later lookups retry instead of serving the failure
-// forever.
-func (e *Engine) frontend(src *sourceEntry, o core.FrontendOptions) (*core.FrontendArtifact, error) {
+// forever — which is also what keeps a context-cancelled run (surfaced
+// as an error here) from poisoning the cache.
+func (e *Engine) frontend(ctx context.Context, src *sourceEntry, o core.FrontendOptions) (*core.FrontendArtifact, error) {
 	key := core.FrontendKeyFrom(src.fingerprint, o)
 	if key == "" {
 		// Opaque custom passes: nothing stable to key on.
 		e.frontendComputed.Add(1)
-		return core.Frontend(src.prog, o)
+		return core.FrontendContext(ctx, src.prog, o)
 	}
 	e.mu.Lock()
 	if e.fronts == nil {
@@ -187,7 +215,7 @@ func (e *Engine) frontend(src *sourceEntry, o core.FrontendOptions) (*core.Front
 			fe.fa = fa
 			return
 		}
-		fe.fa, fe.err = core.Frontend(src.prog, o)
+		fe.fa, fe.err = core.FrontendContext(ctx, src.prog, o)
 		e.frontendComputed.Add(1)
 		if fe.err == nil {
 			// Frontend leaves content identity and the stage key to its

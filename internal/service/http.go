@@ -1,0 +1,112 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Server wires the queue to the HTTP API cmd/sparkd serves. Use
+// NewServer and mount the handler; all payloads are JSON.
+type Server struct {
+	queue *Queue
+	mux   *http.ServeMux
+}
+
+// NewServer builds the HTTP front end over a queue.
+func NewServer(q *Queue) *Server {
+	s := &Server{queue: q, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// submit handles POST /v1/jobs: decode, enqueue (or attach to the
+// in-flight identical job), and answer 202 with the job view. A deduped
+// submit is flagged so clients know they are polling shared work.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, deduped, err := s.queue.Submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	v := s.queue.View(job, false)
+	v.Deduped = deduped
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// list handles GET /v1/jobs: every job in issue order, without results.
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+// get handles GET /v1/jobs/{id}: the poll endpoint; terminal jobs carry
+// their result (points, frontier, trajectory) inline.
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.queue.View(job, true))
+}
+
+// cancel handles DELETE /v1/jobs/{id}: queued jobs die immediately,
+// running jobs stop at the next evaluation-batch boundary. The response
+// is the job's state at cancel time; clients poll for the terminal
+// status.
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.queue.View(job, true))
+}
+
+// stats handles GET /v1/stats.
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.Stats())
+}
+
+// healthz handles GET /healthz: liveness for load balancers and CI.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sparkgo/internal/explore"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+)
+
+// slowEngine is an engine whose generator sleeps at blocker scales (see
+// service_test.go) so queue tests can hold workers busy on demand.
+func slowEngine() *explore.Engine {
+	return &explore.Engine{
+		Workers:   2,
+		SimTrials: 0,
+		Source: func(n int) *ir.Program {
+			if n > blockerScale {
+				time.Sleep(300 * time.Millisecond)
+				n = 4
+			}
+			return ild.Program(n)
+		},
+	}
+}
+
+// TestDrainFinishesAcceptedWork: Drain must complete queued and running
+// jobs, then reject new submits with ErrDraining.
+func TestDrainFinishesAcceptedWork(t *testing.T) {
+	q := NewQueue(slowEngine(), 1, 0)
+	blocker, _, err := q.Submit(Request{Kind: KindSynth, N: blockerScale + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := q.Submit(Request{Kind: KindSynth, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, j := range []*Job{blocker, queued} {
+		if v := q.View(j, false); v.Status != StatusDone {
+			t.Errorf("job %s after drain: %s (%s), want done", j.ID, v.Status, v.Error)
+		}
+	}
+	if _, _, err := q.Submit(Request{Kind: KindSynth, N: 4}); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain: err=%v, want ErrDraining", err)
+	}
+}
+
+// TestDrainTimeoutCancelsOutstanding: an expired drain context cancels
+// queued and running jobs instead of waiting forever.
+func TestDrainTimeoutCancelsOutstanding(t *testing.T) {
+	q := NewQueue(slowEngine(), 1, 0)
+	// An effectively endless search holds the one worker.
+	running, _, err := q.Submit(Request{Kind: KindSearch, N: 16, Budget: 1000000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := q.Submit(Request{Kind: KindSynth, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: err=%v, want deadline exceeded", err)
+	}
+	if v := q.View(running, false); v.Status != StatusCanceled {
+		t.Errorf("running job after cut-short drain: %s, want canceled", v.Status)
+	}
+	if v := q.View(queued, false); v.Status != StatusCanceled {
+		t.Errorf("queued job after cut-short drain: %s, want canceled", v.Status)
+	}
+}
+
+// TestCancelQueuedJob: cancelling a job that never started is immediate
+// and the worker never runs it.
+func TestCancelQueuedJob(t *testing.T) {
+	q := NewQueue(slowEngine(), 1, 0)
+	if _, _, err := q.Submit(Request{Kind: KindSynth, N: blockerScale + 1}); err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := q.Submit(Request{Kind: KindSynth, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-queued.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cancelled queued job did not finish immediately")
+	}
+	if v := q.View(queued, false); v.Status != StatusCanceled {
+		t.Errorf("status %s, want canceled", v.Status)
+	}
+	// A fresh identical submit must NOT coalesce onto the canceled job.
+	again, deduped, err := q.Submit(Request{Kind: KindSynth, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || again.ID == queued.ID {
+		t.Errorf("submit after cancel coalesced onto dead job %s", queued.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = q.Drain(ctx)
+}
+
+// TestPriorityOrdersQueue: with one worker pinned, a later high-priority
+// job must run before earlier low-priority ones.
+func TestPriorityOrdersQueue(t *testing.T) {
+	q := NewQueue(slowEngine(), 1, 0)
+	if _, _, err := q.Submit(Request{Kind: KindSynth, N: blockerScale + 1}); err != nil {
+		t.Fatal(err)
+	}
+	low, _, err := q.Submit(Request{Kind: KindSynth, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, _, err := q.Submit(Request{Kind: KindSynth, N: 8, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-high.Done()
+	hv := q.View(high, false)
+	lv := q.View(low, false)
+	if lv.Status == StatusDone && lv.Finished.Before(*hv.Finished) {
+		t.Errorf("low-priority job finished before high-priority one")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = q.Drain(ctx)
+}
+
+// TestJobDeadlineFails: a job whose own deadline expires mid-run fails
+// with the deadline error rather than hanging.
+func TestJobDeadlineFails(t *testing.T) {
+	q := NewQueue(slowEngine(), 1, 0)
+	j, _, err := q.Submit(Request{Kind: KindSearch, N: 16, Budget: 1000000, Seed: 5, DeadlineMS: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlined job never finished")
+	}
+	if v := q.View(j, false); v.Status != StatusFailed || v.Error != "deadline exceeded" {
+		t.Errorf("status %s (%q), want failed with deadline exceeded", v.Status, v.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = q.Drain(ctx)
+}
+
+// TestSynthKeyEscapesPassSpecs: the single-flight key must distinguish
+// a pass list containing "; " inside one spec from the same text split
+// across two specs — the canonical Config rendering escapes the joiner.
+func TestSynthKeyEscapesPassSpecs(t *testing.T) {
+	r1 := Request{Kind: KindSynth, Passes: []string{"constprop; cse"}}
+	r2 := Request{Kind: KindSynth, Passes: []string{"constprop", "cse"}}
+	if err := r1.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.key("") == r2.key("") {
+		t.Errorf("distinct pass lists %q and %q share a job key: submits would coalesce across requests",
+			r1.Passes, r2.Passes)
+	}
+}
