@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sparkgo/internal/explore"
+	"sparkgo/internal/report"
 )
 
 // benchRun is one measured sweep in the cache trajectory.
@@ -15,7 +16,12 @@ type benchRun struct {
 	// Name identifies the cache regime: "cold" (empty caches),
 	// "warm" (same engine re-sweep, memory cache), "disk-cold"
 	// (fresh engine populating a disk cache), "disk-warm" (fresh
-	// engine — a stand-in for a restarted process — served from disk).
+	// engine — a stand-in for a restarted process — served from the
+	// disk point cache), "disk-warm-sim" (fresh engine at a different
+	// simulation depth: points miss, every stage artifact revives from
+	// disk), "disk-warm-model" (fresh engine with only the backend
+	// report model changed: frontend and midend revive, only the
+	// backend re-runs).
 	Name string `json:"name"`
 	// Nanos is the wall time of the sweep.
 	Nanos int64 `json:"ns"`
@@ -24,6 +30,10 @@ type benchRun struct {
 	// Failed counts configurations whose synthesis failed.
 	Failed int            `json:"failed"`
 	Stats  benchCacheStat `json:"cache"`
+	// CacheTable is the per-layer statistics table for this run (the
+	// same rendering `-sweep` prints), embedded so trend dashboards can
+	// show the layer breakdown without re-deriving it.
+	CacheTable *report.Table `json:"cache_table"`
 }
 
 type benchCacheStat struct {
@@ -33,7 +43,32 @@ type benchCacheStat struct {
 	FrontendMemHits  int64 `json:"frontend_mem_hits"`
 	FrontendDiskHits int64 `json:"frontend_disk_hits"`
 	FrontendComputed int64 `json:"frontend_computed"`
+	MidendMemHits    int64 `json:"midend_mem_hits"`
+	MidendDiskHits   int64 `json:"midend_disk_hits"`
+	MidendComputed   int64 `json:"midend_computed"`
+	BackendMemHits   int64 `json:"backend_mem_hits"`
+	BackendDiskHits  int64 `json:"backend_disk_hits"`
+	BackendComputed  int64 `json:"backend_computed"`
 	DiskErrors       int64 `json:"disk_errors"`
+}
+
+// benchStat renders engine stats as the JSON counter block.
+func benchStat(s explore.Stats) benchCacheStat {
+	return benchCacheStat{
+		PointMemHits:     s.PointMemHits,
+		PointDiskHits:    s.PointDiskHits,
+		PointComputed:    s.PointComputed,
+		FrontendMemHits:  s.FrontendMemHits,
+		FrontendDiskHits: s.FrontendDiskHits,
+		FrontendComputed: s.FrontendComputed,
+		MidendMemHits:    s.MidendMemHits,
+		MidendDiskHits:   s.MidendDiskHits,
+		MidendComputed:   s.MidendComputed,
+		BackendMemHits:   s.BackendMemHits,
+		BackendDiskHits:  s.BackendDiskHits,
+		BackendComputed:  s.BackendComputed,
+		DiskErrors:       s.DiskErrors,
+	}
 }
 
 // benchReport is the BENCH_explore.json schema consumed by CI trend
@@ -60,8 +95,13 @@ type benchReport struct {
 }
 
 // runBenchJSON measures the exploration-cache trajectory — cold, warm
-// in-memory, and disk-warm across a simulated process restart — and
-// writes the machine-readable report the CI workflow archives.
+// in-memory, disk-warm across a simulated process restart, and the two
+// stage-revival regimes (sim depth changed: every stage revives; report
+// model changed: frontend + midend revive, backend re-runs) — and
+// writes the machine-readable report the CI workflow archives. The
+// stage-revival runs are also asserted here: a disk-warm pass that
+// recomputes midend or backend artifacts is a persistence regression,
+// not a measurement.
 func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	sizes, err := parseSizes(sizeList)
 	if err != nil {
@@ -74,9 +114,10 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	}
 	defer os.RemoveAll(cacheDir)
 
-	measure := func(name string, eng *explore.Engine, before explore.Stats) (benchRun, error) {
+	measure := func(name string, eng *explore.Engine, sp []explore.Config) (benchRun, error) {
+		before := eng.Stats()
 		start := time.Now()
-		pts := eng.Sweep(space)
+		pts := eng.Sweep(sp)
 		elapsed := time.Since(start)
 		failed := 0
 		for _, p := range pts {
@@ -84,28 +125,21 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 				failed++
 			}
 		}
-		after := eng.Stats()
+		delta := eng.Stats().Sub(before)
 		run := benchRun{
 			Name: name, Nanos: elapsed.Nanoseconds(),
-			Configs: len(space), Failed: failed,
-			Stats: benchCacheStat{
-				PointMemHits:     after.PointMemHits - before.PointMemHits,
-				PointDiskHits:    after.PointDiskHits - before.PointDiskHits,
-				PointComputed:    after.PointComputed - before.PointComputed,
-				FrontendMemHits:  after.FrontendMemHits - before.FrontendMemHits,
-				FrontendDiskHits: after.FrontendDiskHits - before.FrontendDiskHits,
-				FrontendComputed: after.FrontendComputed - before.FrontendComputed,
-				DiskErrors:       after.DiskErrors - before.DiskErrors,
-			},
+			Configs: len(sp), Failed: failed,
+			Stats:      benchStat(delta),
+			CacheTable: cacheTable(delta),
 		}
 		if failed > 0 {
-			return run, fmt.Errorf("%s sweep: %d of %d configurations failed", name, failed, len(space))
+			return run, fmt.Errorf("%s sweep: %d of %d configurations failed", name, failed, len(sp))
 		}
 		return run, nil
 	}
 
-	report := benchReport{
-		Schema:        "sparkgo/bench-explore/v2",
+	rep := benchReport{
+		Schema:        "sparkgo/bench-explore/v3",
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		CacheSchema:   explore.DiskSchema(),
 		StageVersions: explore.Versions(),
@@ -115,44 +149,83 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 
 	// Cold: empty memory cache, no disk.
 	cold := &explore.Engine{Workers: workers, SimTrials: simTrials}
-	report.Workers = cold.EffectiveWorkers(len(space))
-	coldRun, err := measure("cold", cold, explore.Stats{})
+	rep.Workers = cold.EffectiveWorkers(len(space))
+	coldRun, err := measure("cold", cold, space)
 	if err != nil {
 		return err
 	}
-	report.Runs = append(report.Runs, coldRun)
+	rep.Runs = append(rep.Runs, coldRun)
 
 	// Warm: the same engine re-sweeps against its in-memory cache.
-	warmRun, err := measure("warm", cold, cold.Stats())
+	warmRun, err := measure("warm", cold, space)
 	if err != nil {
 		return err
 	}
-	report.Runs = append(report.Runs, warmRun)
+	rep.Runs = append(rep.Runs, warmRun)
 
 	// Disk-cold: a fresh engine populates the disk cache.
 	diskCold := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
-	diskColdRun, err := measure("disk-cold", diskCold, explore.Stats{})
+	diskColdRun, err := measure("disk-cold", diskCold, space)
 	if err != nil {
 		return err
 	}
-	report.Runs = append(report.Runs, diskColdRun)
+	rep.Runs = append(rep.Runs, diskColdRun)
 
-	// Disk-warm: another fresh engine — a restarted process — reuses it.
+	// Disk-warm: another fresh engine — a restarted process — is served
+	// from the persisted point cache.
 	diskWarm := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
-	diskWarmRun, err := measure("disk-warm", diskWarm, explore.Stats{})
+	diskWarmRun, err := measure("disk-warm", diskWarm, space)
 	if err != nil {
 		return err
 	}
-	report.Runs = append(report.Runs, diskWarmRun)
+	rep.Runs = append(rep.Runs, diskWarmRun)
+
+	// Disk-warm-sim: a restarted process at a different simulation
+	// depth. Every point key misses, but all three stage artifacts —
+	// frontend, midend, backend — revive from disk; only the simulator
+	// re-runs. This is the warm pass the per-stage persistence is
+	// asserted on.
+	diskWarmSim := &explore.Engine{Workers: workers, SimTrials: simTrials + 1, CacheDir: cacheDir}
+	diskWarmSimRun, err := measure("disk-warm-sim", diskWarmSim, space)
+	if err != nil {
+		return err
+	}
+	rep.Runs = append(rep.Runs, diskWarmSimRun)
+	if s := diskWarmSimRun.Stats; s.MidendDiskHits == 0 || s.BackendDiskHits == 0 ||
+		s.MidendComputed > 0 || s.BackendComputed > 0 {
+		return fmt.Errorf("disk-warm-sim sweep: stage persistence regression "+
+			"(midend disk=%d computed=%d, backend disk=%d computed=%d; want all stages revived)",
+			s.MidendDiskHits, s.MidendComputed, s.BackendDiskHits, s.BackendComputed)
+	}
+
+	// Disk-warm-model: a restarted process sweeping the same space with
+	// only the backend report model changed. Frontend and midend revive
+	// from disk (zero midend recomputes); only the backend stage runs.
+	modelSpace := make([]explore.Config, len(space))
+	for i, c := range space {
+		c.ReportNand = 2
+		modelSpace[i] = c
+	}
+	diskWarmModel := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	diskWarmModelRun, err := measure("disk-warm-model", diskWarmModel, modelSpace)
+	if err != nil {
+		return err
+	}
+	rep.Runs = append(rep.Runs, diskWarmModelRun)
+	if s := diskWarmModelRun.Stats; s.MidendDiskHits == 0 || s.MidendComputed > 0 {
+		return fmt.Errorf("disk-warm-model sweep: midend persistence regression "+
+			"(disk=%d computed=%d; want every schedule revived)",
+			s.MidendDiskHits, s.MidendComputed)
+	}
 
 	if warmRun.Nanos > 0 {
-		report.WarmSpeedup = float64(coldRun.Nanos) / float64(warmRun.Nanos)
+		rep.WarmSpeedup = float64(coldRun.Nanos) / float64(warmRun.Nanos)
 	}
 	if diskWarmRun.Nanos > 0 {
-		report.DiskWarmSpeedup = float64(coldRun.Nanos) / float64(diskWarmRun.Nanos)
+		rep.DiskWarmSpeedup = float64(coldRun.Nanos) / float64(diskWarmRun.Nanos)
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -160,8 +233,10 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: cold %.1fms, warm %.1fms (%.0fx), disk-warm %.1fms (%.1fx), %d configs\n",
-		path, float64(coldRun.Nanos)/1e6, float64(warmRun.Nanos)/1e6, report.WarmSpeedup,
-		float64(diskWarmRun.Nanos)/1e6, report.DiskWarmSpeedup, len(space))
+	fmt.Printf("wrote %s: cold %.1fms, warm %.1fms (%.0fx), disk-warm %.1fms (%.1fx), "+
+		"stage-revival %.1fms/%.1fms, %d configs\n",
+		path, float64(coldRun.Nanos)/1e6, float64(warmRun.Nanos)/1e6, rep.WarmSpeedup,
+		float64(diskWarmRun.Nanos)/1e6, rep.DiskWarmSpeedup,
+		float64(diskWarmSimRun.Nanos)/1e6, float64(diskWarmModelRun.Nanos)/1e6, len(space))
 	return nil
 }

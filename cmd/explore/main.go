@@ -24,7 +24,7 @@
 // × chaining) and prints its improvement trajectory, best design, and
 // cache statistics:
 //
-//	explore -search [-strategy hill|genetic] [-budget 64] [-deadline 30s]
+//	explore -search [-strategy hill|genetic|anneal] [-budget 64] [-deadline 30s]
 //	        [-objective latency|area|weighted] [-seed 1] [-n 16]
 //	        [-search-json BENCH_search.json]
 //
@@ -70,7 +70,7 @@ func main() {
 	srcFiles := flag.String("src", "", "comma-separated source files to sweep instead of the ILD generator")
 	benchJSON := flag.String("bench-json", "", "write cold/warm/disk-warm sweep benchmark results to this JSON file and exit")
 	search := flag.Bool("search", false, "run an adaptive design-space search instead of an exhaustive sweep")
-	strategy := flag.String("strategy", "hill", "search strategy: hill (steepest-ascent + restarts) or genetic")
+	strategy := flag.String("strategy", "hill", "search strategy: hill (steepest-ascent + restarts), genetic, or anneal (simulated annealing)")
 	objective := flag.String("objective", "weighted", "search objective: latency, area, or weighted")
 	budget := flag.Int("budget", 64, "search budget: max distinct configurations evaluated (0 = unbounded)")
 	deadline := flag.Duration("deadline", 0, "search wall-clock budget (0 = unbounded)")
@@ -225,6 +225,14 @@ func runCacheGC(cacheDir string, maxBytes int64) error {
 	}
 	fmt.Printf("cache gc: %d of %d artifacts evicted (%d -> %d bytes, budget %d)\n",
 		st.RemovedFiles, st.ScannedFiles, st.ScannedBytes, st.RemainingBytes, maxBytes)
+	if len(st.Kinds) > 0 {
+		t := report.New("cache gc per kind",
+			"kind", "scanned files", "scanned bytes", "evicted files", "evicted bytes")
+		for _, k := range st.Kinds {
+			t.Add(k.Kind, k.ScannedFiles, k.ScannedBytes, k.RemovedFiles, k.RemovedBytes)
+		}
+		fmt.Println(t)
+	}
 	return nil
 }
 
@@ -332,12 +340,15 @@ func runSweepLocal(ctx context.Context, sizeList, srcFiles, cacheDir string,
 }
 
 // cacheTable renders the engine's per-stage cache statistics: where each
-// lookup was served from (memory, disk, or computed by synthesis).
+// lookup was served from (memory, disk, or computed by synthesis), one
+// row per layer of the staged flow.
 func cacheTable(s explore.Stats) *report.Table {
 	t := report.New("exploration cache statistics",
 		"layer", "memory hits", "disk hits", "computed", "disk errors")
 	t.Add("point", s.PointMemHits, s.PointDiskHits, s.PointComputed, "")
 	t.Add("frontend stage", s.FrontendMemHits, s.FrontendDiskHits, s.FrontendComputed, "")
+	t.Add("midend stage", s.MidendMemHits, s.MidendDiskHits, s.MidendComputed, "")
+	t.Add("backend stage", s.BackendMemHits, s.BackendDiskHits, s.BackendComputed, "")
 	t.Add("disk", "", "", "", s.DiskErrors)
 	return t
 }

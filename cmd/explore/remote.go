@@ -135,6 +135,8 @@ func (c *remoteClient) remoteStatsTables(ctx context.Context) ([]*report.Table, 
 		"layer", "memory hits", "disk hits", "computed", "disk errors")
 	t.Add("point", st.Engine.PointMemHits, st.Engine.PointDiskHits, st.Engine.PointComputed, "")
 	t.Add("frontend stage", st.Engine.FrontendMemHits, st.Engine.FrontendDiskHits, st.Engine.FrontendComputed, "")
+	t.Add("midend stage", st.Engine.MidendMemHits, st.Engine.MidendDiskHits, st.Engine.MidendComputed, "")
+	t.Add("backend stage", st.Engine.BackendMemHits, st.Engine.BackendDiskHits, st.Engine.BackendComputed, "")
 	t.Add("disk", "", "", "", st.Engine.DiskErrors)
 	q := report.New("daemon queue statistics", "metric", "value")
 	q.Add("submitted", st.Queue.Submitted)

@@ -127,7 +127,7 @@ func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals i
 	if jsonPath != "" {
 		stats := eng.Stats()
 		rep := searchReport{
-			Schema:        "sparkgo/bench-search/v2",
+			Schema:        "sparkgo/bench-search/v3",
 			Timestamp:     time.Now().UTC().Format(time.RFC3339),
 			CacheSchema:   explore.DiskSchema(),
 			StageVersions: explore.Versions(),
@@ -139,15 +139,7 @@ func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals i
 			Exhausted: res.Exhausted, BestScore: res.BestScore,
 			BestConfig:  res.Best.Config.String(),
 			BestLatency: res.Best.Latency, BestArea: res.Best.Area,
-			Cache: benchCacheStat{
-				PointMemHits:     stats.PointMemHits,
-				PointDiskHits:    stats.PointDiskHits,
-				PointComputed:    stats.PointComputed,
-				FrontendMemHits:  stats.FrontendMemHits,
-				FrontendDiskHits: stats.FrontendDiskHits,
-				FrontendComputed: stats.FrontendComputed,
-				DiskErrors:       stats.DiskErrors,
-			},
+			Cache: benchStat(stats),
 		}
 		for _, s := range res.Trajectory {
 			rep.Trajectory = append(rep.Trajectory, searchStep{

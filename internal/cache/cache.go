@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -147,6 +148,19 @@ func (s *Store) Put(kind, key string, v any) error {
 	return nil
 }
 
+// KindGC is the per-kind slice of a GC pass: how much of one artifact
+// kind (frontend, midend, backend, point) was scanned and evicted, so
+// eviction pressure is attributable to a cache layer instead of
+// disappearing into an aggregate. Files outside the store's
+// <schema>/<kind>/<hh>/<file>.gob layout report under kind "other".
+type KindGC struct {
+	Kind         string
+	ScannedFiles int
+	ScannedBytes int64
+	RemovedFiles int
+	RemovedBytes int64
+}
+
 // GCStat summarizes one GC pass over the cache directory.
 type GCStat struct {
 	ScannedFiles   int   // artifact files found before eviction
@@ -154,6 +168,9 @@ type GCStat struct {
 	RemovedFiles   int
 	RemovedBytes   int64
 	RemainingBytes int64 // ScannedBytes - RemovedBytes
+	// Kinds is the per-kind breakdown of the counters above, sorted by
+	// kind name. Kind totals sum to the aggregate counters.
+	Kinds []KindGC
 }
 
 // GC evicts artifacts oldest-mtime-first until the cache directory's
@@ -171,11 +188,34 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 	}
 	type entry struct {
 		path  string
+		kind  string
 		size  int64
 		mtime time.Time
 	}
 	var files []entry
 	var stat GCStat
+	perKind := map[string]*KindGC{}
+	kindOf := func(path string) string {
+		// Artifacts live at <base>/<schema>/<kind>/<hh>/<file>.gob; a
+		// .gob anywhere else is still evicted but reported as "other".
+		rel, err := filepath.Rel(s.base, path)
+		if err != nil {
+			return "other"
+		}
+		segs := strings.Split(rel, string(filepath.Separator))
+		if len(segs) != 4 {
+			return "other"
+		}
+		return segs[1]
+	}
+	bucket := func(kind string) *KindGC {
+		k := perKind[kind]
+		if k == nil {
+			k = &KindGC{Kind: kind}
+			perKind[kind] = k
+		}
+		return k
+	}
 	err := filepath.WalkDir(s.base, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			if os.IsNotExist(err) {
@@ -193,13 +233,24 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 			}
 			return err
 		}
-		files = append(files, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		kind := kindOf(path)
+		files = append(files, entry{path: path, kind: kind, size: info.Size(), mtime: info.ModTime()})
 		stat.ScannedFiles++
 		stat.ScannedBytes += info.Size()
+		k := bucket(kind)
+		k.ScannedFiles++
+		k.ScannedBytes += info.Size()
 		return nil
 	})
+	finish := func() GCStat {
+		for _, k := range perKind {
+			stat.Kinds = append(stat.Kinds, *k)
+		}
+		sort.Slice(stat.Kinds, func(i, j int) bool { return stat.Kinds[i].Kind < stat.Kinds[j].Kind })
+		return stat
+	}
 	if err != nil {
-		return stat, fmt.Errorf("cache: gc: %w", err)
+		return finish(), fmt.Errorf("cache: gc: %w", err)
 	}
 	sort.Slice(files, func(i, j int) bool {
 		if !files[i].mtime.Equal(files[j].mtime) {
@@ -216,14 +267,18 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 			if os.IsNotExist(err) {
 				continue
 			}
-			return stat, fmt.Errorf("cache: gc: %w", err)
+			stat.RemainingBytes = remaining
+			return finish(), fmt.Errorf("cache: gc: %w", err)
 		}
 		remaining -= f.size
 		stat.RemovedFiles++
 		stat.RemovedBytes += f.size
+		k := bucket(f.kind)
+		k.RemovedFiles++
+		k.RemovedBytes += f.size
 	}
 	stat.RemainingBytes = remaining
-	return stat, nil
+	return finish(), nil
 }
 
 // sanitize keeps path segments portable: anything outside

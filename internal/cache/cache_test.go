@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -482,6 +483,107 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 		if wantSurvive := i >= total-keep; ok != wantSurvive {
 			t.Errorf("key %s: survived=%t, want %t (survivors must be the most-recently-used)",
 				key(i), ok, wantSurvive)
+		}
+	}
+}
+
+// TestGCPerKindCounters: the GC report attributes scanned and evicted
+// bytes to the artifact kind each file lives under, and the per-kind
+// rows sum exactly to the aggregate counters.
+func TestGCPerKindCounters(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := artifact{Name: "x", Values: make([]int, 64)}
+	kinds := []string{"frontend", "midend", "backend", "point"}
+	for i, kind := range kinds {
+		for j := 0; j <= i; j++ { // 1 frontend, 2 midend, 3 backend, 4 point
+			if err := s.Put(kind, fmt.Sprintf("k%d", j), payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := s.GC(0) // empty the cache: everything is both scanned and removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScannedFiles != 10 || st.RemovedFiles != 10 {
+		t.Fatalf("GC stat: %+v", st)
+	}
+	if len(st.Kinds) != len(kinds) {
+		t.Fatalf("per-kind rows: %+v", st.Kinds)
+	}
+	var names []string
+	var scannedFiles, removedFiles int
+	var scannedBytes, removedBytes int64
+	for _, k := range st.Kinds {
+		names = append(names, k.Kind)
+		scannedFiles += k.ScannedFiles
+		removedFiles += k.RemovedFiles
+		scannedBytes += k.ScannedBytes
+		removedBytes += k.RemovedBytes
+		if k.ScannedFiles != k.RemovedFiles || k.ScannedBytes != k.RemovedBytes {
+			t.Errorf("kind %s: scanned %d/%d, removed %d/%d — GC(0) must evict everything",
+				k.Kind, k.ScannedFiles, k.ScannedBytes, k.RemovedFiles, k.RemovedBytes)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("per-kind rows not sorted: %v", names)
+	}
+	if scannedFiles != st.ScannedFiles || removedFiles != st.RemovedFiles ||
+		scannedBytes != st.ScannedBytes || removedBytes != st.RemovedBytes {
+		t.Errorf("per-kind rows do not sum to the aggregate: %+v", st)
+	}
+	byKind := map[string]cache.KindGC{}
+	for _, k := range st.Kinds {
+		byKind[k.Kind] = k
+	}
+	for i, kind := range kinds {
+		if got := byKind[kind].ScannedFiles; got != i+1 {
+			t.Errorf("kind %s: scanned %d files, want %d", kind, got, i+1)
+		}
+	}
+}
+
+// TestGCPartialEvictionPerKind: a budget that spares the newest files
+// attributes the evictions to the kinds that actually lost artifacts.
+func TestGCPartialEvictionPerKind(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := artifact{Name: "x", Values: make([]int, 64)}
+	if err := s.Put("midend", "old", payload); err != nil {
+		t.Fatal(err)
+	}
+	age(t, root, time.Hour)
+	if err := s.Put("backend", "new", payload); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := s.GC(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(probe.ScannedBytes * 3 / 4) // room for one of the two
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedFiles != 1 {
+		t.Fatalf("GC stat: %+v", st)
+	}
+	for _, k := range st.Kinds {
+		switch k.Kind {
+		case "midend":
+			if k.RemovedFiles != 1 {
+				t.Errorf("oldest (midend) artifact survived: %+v", k)
+			}
+		case "backend":
+			if k.RemovedFiles != 0 {
+				t.Errorf("newest (backend) artifact evicted: %+v", k)
+			}
 		}
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,9 +27,17 @@ const (
 	// FrontendVersion keys transformed-IR artifacts.
 	FrontendVersion = 1
 	// MidendVersion keys HTG/schedule artifacts.
-	MidendVersion = 1
+	//
+	// v2: midend artifacts are persisted losslessly (sched.EncodeResult)
+	// and carry a content fingerprint; v1 artifacts were in-memory only.
+	MidendVersion = 2
 	// BackendVersion keys netlist/stats artifacts.
-	BackendVersion = 1
+	//
+	// v2: backend artifacts are persisted losslessly (rtl.EncodeModule +
+	// report) and the stage keys on the midend artifact's *content*
+	// fingerprint instead of its stage key, so two option sets that
+	// converge on the same schedule share backend work.
+	BackendVersion = 2
 )
 
 // FrontendOptions is the subset of Options the frontend stage reads: the
@@ -239,7 +249,47 @@ type MidendArtifact struct {
 	Graph    *htg.Graph
 	Schedule *sched.Result
 	Cycles   int
-	Key      string
+	// Fingerprint is the artifact's content identity: the SHA-256 of its
+	// lossless encoding (sched.EncodeResult, which embeds the graph and
+	// program). Empty until Materialize runs; the one-shot Synthesize
+	// path never pays for it.
+	Fingerprint string
+	Key         string
+}
+
+// Materialize computes and stores the artifact's content Fingerprint,
+// returning the lossless encoding it hashes (nil if the schedule failed
+// to encode) so callers persisting the artifact reuse it instead of
+// encoding again — the exact contract FrontendArtifact.Materialize
+// carries. Call it from the goroutine that created the artifact, before
+// sharing it.
+func (ma *MidendArtifact) Materialize() []byte {
+	enc, err := sched.EncodeResult(ma.Schedule)
+	if err != nil {
+		// Mirror the frontend's fallback for unencodable artifacts: a
+		// stable (if uninformative) fingerprint, no reusable encoding.
+		ma.Fingerprint = ir.HashText("unencodable-midend|" + ma.Key)
+		return nil
+	}
+	ma.Fingerprint = ir.FingerprintBytes(enc)
+	return enc
+}
+
+// DecodeMidendArtifact revives a midend artifact from its lossless
+// encoding. The caller owns verification: re-Materialize the result and
+// compare fingerprints against the persisted value before trusting it
+// (the exploration engine's disk layer does).
+func DecodeMidendArtifact(enc []byte) (*MidendArtifact, error) {
+	res, err := sched.DecodeResult(enc)
+	if err != nil {
+		return nil, fmt.Errorf("core: revive midend: %w", err)
+	}
+	return &MidendArtifact{
+		Program:  res.G.Prog,
+		Graph:    res.G,
+		Schedule: res,
+		Cycles:   res.NumStates,
+	}, nil
 }
 
 // MidendContext is Midend gated on a context (see FrontendContext for
@@ -319,15 +369,18 @@ func (o BackendOptions) model() *delay.Model {
 	return o.Model
 }
 
-// BackendKey composes the backend stage key from the midend artifact key
-// and the backend options.
+// BackendKey composes the backend stage key from the midend artifact's
+// *content* fingerprint — not its stage key, so two option sets that
+// converge on the same schedule share backend work (the same sharing
+// rule MidendKey applies one stage up) — and the backend options. Empty
+// when the midend artifact was never materialized (the one-shot flow).
 func BackendKey(ma *MidendArtifact, o BackendOptions) string {
-	if ma.Key == "" {
+	if ma.Fingerprint == "" {
 		return ""
 	}
 	m := o.model()
 	return ir.HashText(fmt.Sprintf("backend/v%d|me=%s|nand=%g clock=%g",
-		BackendVersion, ma.Key, m.NandDelay, m.ClockPeriod))
+		BackendVersion, ma.Fingerprint, m.NandDelay, m.ClockPeriod))
 }
 
 // BackendArtifact is the output of the backend stage: the bound RTL
@@ -335,7 +388,52 @@ func BackendKey(ma *MidendArtifact, o BackendOptions) string {
 type BackendArtifact struct {
 	Module *rtl.Module
 	Stats  delay.Report
-	Key    string
+	// Fingerprint is the artifact's content identity: the SHA-256 of its
+	// lossless encoding (netlist plus report). Empty until Materialize
+	// runs.
+	Fingerprint string
+	Key         string
+}
+
+// backendCode is the wire form of a backend artifact: the netlist in
+// its lossless encoding plus the flat technology report.
+type backendCode struct {
+	Module []byte // rtl.EncodeModule
+	Stats  delay.Report
+}
+
+// Materialize computes and stores the artifact's content Fingerprint,
+// returning the lossless encoding it hashes (nil if the module failed
+// to encode); see MidendArtifact.Materialize for the contract.
+func (ba *BackendArtifact) Materialize() []byte {
+	mod, err := rtl.EncodeModule(ba.Module)
+	if err != nil {
+		ba.Fingerprint = ir.HashText("unencodable-backend|" + ba.Key)
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(backendCode{Module: mod, Stats: ba.Stats}); err != nil {
+		ba.Fingerprint = ir.HashText("unencodable-backend|" + ba.Key)
+		return nil
+	}
+	enc := buf.Bytes()
+	ba.Fingerprint = ir.FingerprintBytes(enc)
+	return enc
+}
+
+// DecodeBackendArtifact revives a backend artifact from its lossless
+// encoding. As with DecodeMidendArtifact, the caller verifies by
+// re-materializing and comparing fingerprints.
+func DecodeBackendArtifact(enc []byte) (*BackendArtifact, error) {
+	var bc backendCode
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(&bc); err != nil {
+		return nil, fmt.Errorf("core: revive backend: %w", err)
+	}
+	mod, err := rtl.DecodeModule(bc.Module)
+	if err != nil {
+		return nil, fmt.Errorf("core: revive backend: %w", err)
+	}
+	return &BackendArtifact{Module: mod, Stats: bc.Stats}, nil
 }
 
 // BackendContext is Backend gated on a context (see FrontendContext for
@@ -377,7 +475,11 @@ func (o Options) MidendOptions() MidendOptions {
 	}
 }
 
-// BackendOptions projects the option fields the backend stage reads.
+// BackendOptions projects the option fields the backend stage reads:
+// the report model when one is set, the shared model otherwise.
 func (o Options) BackendOptions() BackendOptions {
+	if o.ReportModel != nil {
+		return BackendOptions{Model: o.ReportModel}
+	}
 	return BackendOptions{Model: o.Model}
 }

@@ -9,16 +9,21 @@
 // Memoization is stage-granular, keyed on the artifact hashes of the
 // staged flow: configurations sharing a (source, pass-list) prefix reuse
 // one frontend run — the transformation pipeline executes exactly once
-// per unique (source fingerprint, pass list, rounds) triple — and only
-// the midend/backend re-run per back-end knob. A fully evaluated
-// configuration is additionally memoized as a Point.
+// per unique (source fingerprint, pass list, rounds) triple — midend
+// artifacts (HTG + schedule) are shared by every configuration with the
+// same transformed program and scheduling knobs, and backend artifacts
+// (netlist + report) by every configuration with the same schedule and
+// report model. A fully evaluated configuration is additionally
+// memoized as a Point.
 //
-// Setting CacheDir adds a disk layer (internal/cache): frontend
-// artifacts and evaluated points are gob-encoded under the cache
-// directory, keyed by the same hashes with versioned invalidation, so
-// sweeps survive process restarts and many processes can share one
-// cache. The frontier helpers reduce the resulting point cloud to the
-// best-cycle / best-area Pareto set the designer actually reads.
+// Setting CacheDir adds a disk layer (internal/cache): every stage
+// artifact — frontend, midend, backend — and every evaluated point is
+// gob-encoded under the cache directory in its lossless codec, keyed by
+// the same hashes with versioned invalidation, so sweeps survive
+// process restarts, many processes can share one cache, and
+// invalidating a single stage version only recomputes that stage. The
+// frontier helpers reduce the resulting point cloud to the best-cycle /
+// best-area Pareto set the designer actually reads.
 package explore
 
 import (
@@ -33,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"sparkgo/internal/core"
+	"sparkgo/internal/delay"
 	"sparkgo/internal/interp"
 	"sparkgo/internal/ir"
 	"sparkgo/internal/rtl"
@@ -66,11 +72,17 @@ type Config struct {
 	Passes []string
 	// Rounds bounds pipeline fixpoint iteration (0 = default).
 	Rounds int
+	// ReportNand, when positive, overrides the NAND-delay scale of the
+	// technology model the backend report is evaluated under — the
+	// backend-only axis. The scheduling model is untouched, so two
+	// configs differing only here share the frontend AND midend
+	// artifacts and re-run just the binding/report stage.
+	ReportNand float64
 }
 
 // Options lowers the config to synthesizer options.
 func (c Config) Options() core.Options {
-	return core.Options{
+	o := core.Options{
 		Preset:        c.Preset,
 		MaxUnroll:     c.MaxUnroll,
 		NoSpeculation: c.NoSpeculation,
@@ -81,6 +93,10 @@ func (c Config) Options() core.Options {
 		Passes:        c.Passes,
 		CustomRounds:  c.Rounds,
 	}
+	if c.ReportNand > 0 {
+		o.ReportModel = &delay.Model{NandDelay: c.ReportNand}
+	}
+	return o
 }
 
 // String renders the canonical form of the config — the exact text the
@@ -112,6 +128,9 @@ func (c Config) String() string {
 	}
 	if c.Rounds > 0 {
 		fmt.Fprintf(&b, " rounds=%d", c.Rounds)
+	}
+	if c.ReportNand > 0 {
+		fmt.Fprintf(&b, " reportnand=%g", c.ReportNand)
 	}
 	return b.String()
 }
@@ -164,10 +183,42 @@ type Stats struct {
 	FrontendMemHits  int64
 	FrontendDiskHits int64
 	FrontendComputed int64
+	// Midend stage cache: HTG + schedule artifacts shared by every
+	// configuration with the same transformed program and scheduling
+	// knobs (preset, delay model, resources, chaining).
+	MidendMemHits  int64
+	MidendDiskHits int64
+	MidendComputed int64
+	// Backend stage cache: netlist + report artifacts shared by every
+	// configuration with the same schedule and report model.
+	BackendMemHits  int64
+	BackendDiskHits int64
+	BackendComputed int64
 	// DiskErrors counts disk-layer failures that were absorbed by
 	// falling back to computation (the sweep itself never fails on a
 	// bad cache).
 	DiskErrors int64
+}
+
+// Sub returns the counter-wise difference s - o: the per-run delta
+// between two snapshots of one engine. Living next to the struct, it
+// cannot silently skip a counter when a new cache layer is added.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		PointMemHits:     s.PointMemHits - o.PointMemHits,
+		PointDiskHits:    s.PointDiskHits - o.PointDiskHits,
+		PointComputed:    s.PointComputed - o.PointComputed,
+		FrontendMemHits:  s.FrontendMemHits - o.FrontendMemHits,
+		FrontendDiskHits: s.FrontendDiskHits - o.FrontendDiskHits,
+		FrontendComputed: s.FrontendComputed - o.FrontendComputed,
+		MidendMemHits:    s.MidendMemHits - o.MidendMemHits,
+		MidendDiskHits:   s.MidendDiskHits - o.MidendDiskHits,
+		MidendComputed:   s.MidendComputed - o.MidendComputed,
+		BackendMemHits:   s.BackendMemHits - o.BackendMemHits,
+		BackendDiskHits:  s.BackendDiskHits - o.BackendDiskHits,
+		BackendComputed:  s.BackendComputed - o.BackendComputed,
+		DiskErrors:       s.DiskErrors - o.DiskErrors,
+	}
 }
 
 // Engine evaluates configuration spaces over a worker pool with
@@ -202,8 +253,10 @@ type Engine struct {
 	// points is keyed on the canonical config string rather than its
 	// 64-bit hash, so a hash collision can never alias two configs.
 	points map[string]*pointEntry
-	// fronts memoizes frontend artifacts by stage key.
+	// fronts/mids/backs memoize the stage artifacts by stage key.
 	fronts map[string]*frontEntry
+	mids   map[string]*midEntry
+	backs  map[string]*backEntry
 	// sources memoizes resolved programs and their fingerprints per
 	// source identity ("src=<name>" or "n=<scale>").
 	sources map[string]*sourceEntry
@@ -215,6 +268,12 @@ type Engine struct {
 	frontendMemHits  atomic.Int64
 	frontendDiskHits atomic.Int64
 	frontendComputed atomic.Int64
+	midendMemHits    atomic.Int64
+	midendDiskHits   atomic.Int64
+	midendComputed   atomic.Int64
+	backendMemHits   atomic.Int64
+	backendDiskHits  atomic.Int64
+	backendComputed  atomic.Int64
 	diskErrors       atomic.Int64
 }
 
@@ -292,6 +351,12 @@ func (e *Engine) Stats() Stats {
 		FrontendMemHits:  e.frontendMemHits.Load(),
 		FrontendDiskHits: e.frontendDiskHits.Load(),
 		FrontendComputed: e.frontendComputed.Load(),
+		MidendMemHits:    e.midendMemHits.Load(),
+		MidendDiskHits:   e.midendDiskHits.Load(),
+		MidendComputed:   e.midendComputed.Load(),
+		BackendMemHits:   e.backendMemHits.Load(),
+		BackendDiskHits:  e.backendDiskHits.Load(),
+		BackendComputed:  e.backendComputed.Load(),
 		DiskErrors:       e.diskErrors.Load(),
 	}
 }
@@ -446,7 +511,7 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 		pt.Err = err.Error()
 		return pt
 	}
-	ma, err := core.Midend(fa, opt.MidendOptions())
+	ma, err := e.midend(ctx, fa, opt.MidendOptions())
 	if err != nil {
 		pt.Err = err.Error()
 		return pt
@@ -455,7 +520,7 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 		pt.Err = err.Error()
 		return pt
 	}
-	ba, err := core.Backend(ma, opt.BackendOptions())
+	ba, err := e.backend(ctx, ma, opt.BackendOptions())
 	if err != nil {
 		pt.Err = err.Error()
 		return pt

@@ -134,15 +134,18 @@ type Strategy interface {
 }
 
 // StrategyByName resolves the CLI strategy names: "hill" (steepest-
-// ascent hill climbing with random restarts) or "genetic".
+// ascent hill climbing with random restarts), "genetic", or "anneal"
+// (Metropolis simulated annealing with reheats).
 func StrategyByName(name string) (Strategy, error) {
 	switch name {
 	case "hill", "hill-climb", "hillclimb":
 		return HillClimb{}, nil
 	case "genetic", "ga":
 		return Genetic{}, nil
+	case "anneal", "sa", "simulated-annealing":
+		return SimulatedAnnealing{}, nil
 	}
-	return nil, fmt.Errorf("explore: unknown strategy %q (want hill or genetic)", name)
+	return nil, fmt.Errorf("explore: unknown strategy %q (want hill, genetic, or anneal)", name)
 }
 
 // searchRun is the budget-aware evaluator shared by the strategies: it

@@ -238,13 +238,14 @@ func TestSearchRaceClean(t *testing.T) {
 func TestStrategyAndObjectiveByName(t *testing.T) {
 	for name, want := range map[string]string{
 		"hill": "hill-climb", "genetic": "genetic",
+		"anneal": "anneal", "sa": "anneal", "simulated-annealing": "anneal",
 	} {
 		st, err := explore.StrategyByName(name)
 		if err != nil || st.Name() != want {
 			t.Errorf("StrategyByName(%q) = %v, %v", name, st, err)
 		}
 	}
-	if _, err := explore.StrategyByName("anneal"); err == nil {
+	if _, err := explore.StrategyByName("tabu"); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 	for _, name := range []string{"latency", "area", "weighted"} {

@@ -22,11 +22,18 @@ import (
 // v2: simulation stimulus is seeded from (source fingerprint, canonical
 // config) instead of the bare config hash, so persisted v1 latencies no
 // longer reproduce.
-const SchemaVersion = 2
+//
+// v3: midend and backend artifacts persist alongside frontend artifacts
+// and points (full-flow artifact persistence), and the underlying IR
+// wire format renamed its type table, so v2 fingerprints no longer
+// reproduce.
+const SchemaVersion = 3
 
 // Artifact kinds in the disk store.
 const (
 	kindFrontend = "frontend"
+	kindMidend   = "midend"
+	kindBackend  = "backend"
 	kindPoint    = "point"
 )
 
@@ -310,6 +317,231 @@ func (e *Engine) storeFrontend(key string, fa *core.FrontendArtifact, enc []byte
 		Rounds:      fa.Rounds,
 	}
 	if err := d.Put(kindFrontend, key, blob); err != nil {
+		e.diskErrors.Add(1)
+	}
+}
+
+// midEntry memoizes one midend stage run by stage key.
+type midEntry struct {
+	once sync.Once
+	ma   *core.MidendArtifact
+	err  error
+}
+
+// midend returns the midend artifact for (frontend artifact, options),
+// lowering and scheduling at most once per stage key — in-memory first,
+// then the disk layer, then computation — under the same
+// no-sticky-errors rule the frontend layer follows. The artifact is
+// shared read-only across configurations; the backend never mutates it.
+func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.MidendOptions) (*core.MidendArtifact, error) {
+	key := core.MidendKey(fa, o)
+	if key == "" {
+		// Unmaterialized frontend (opaque custom passes): nothing stable
+		// to key on.
+		e.midendComputed.Add(1)
+		return core.MidendContext(ctx, fa, o)
+	}
+	e.mu.Lock()
+	if e.mids == nil {
+		e.mids = map[string]*midEntry{}
+	}
+	me, cached := e.mids[key]
+	if !cached {
+		me = &midEntry{}
+		e.mids[key] = me
+	}
+	e.mu.Unlock()
+	if cached {
+		e.midendMemHits.Add(1)
+	}
+	me.once.Do(func() {
+		if ma := e.loadMidend(key); ma != nil {
+			e.midendDiskHits.Add(1)
+			me.ma = ma
+			return
+		}
+		me.ma, me.err = core.MidendContext(ctx, fa, o)
+		e.midendComputed.Add(1)
+		if me.err == nil {
+			enc := me.ma.Materialize()
+			e.storeMidend(key, me.ma, enc)
+		}
+	})
+	if me.err != nil {
+		e.mu.Lock()
+		if e.mids[key] == me {
+			delete(e.mids, key)
+		}
+		e.mu.Unlock()
+	}
+	return me.ma, me.err
+}
+
+// midendBlob is the disk form of a midend artifact: the schedule in its
+// lossless encoding (sched.EncodeResult embeds the graph and program),
+// plus the content fingerprint the revival is verified against. Cycles
+// is not persisted — DecodeMidendArtifact re-derives it from the
+// schedule's state count.
+type midendBlob struct {
+	Schedule    []byte // sched.EncodeResult of the artifact's schedule
+	Fingerprint string
+}
+
+// loadMidend fetches and revives a midend artifact from disk, returning
+// nil on any miss, decode failure, or round-trip mismatch — the caller
+// then recomputes.
+func (e *Engine) loadMidend(key string) *core.MidendArtifact {
+	d := e.diskStore()
+	if d == nil {
+		return nil
+	}
+	var blob midendBlob
+	ok, err := d.Get(kindMidend, key, &blob)
+	if err != nil {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	ma, err := core.DecodeMidendArtifact(blob.Schedule)
+	if err != nil {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	// The fingerprint hashes the lossless encoding; re-materializing the
+	// revived artifact must reproduce it bit for bit, or the round trip
+	// was not faithful and recomputing is the only safe answer.
+	ma.Key = key
+	if ma.Materialize(); ma.Fingerprint != blob.Fingerprint {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	return ma
+}
+
+// storeMidend persists a materialized midend artifact, reusing the
+// encoding Materialize produced; failures only count.
+func (e *Engine) storeMidend(key string, ma *core.MidendArtifact, enc []byte) {
+	d := e.diskStore()
+	if d == nil {
+		return
+	}
+	if enc == nil {
+		e.diskErrors.Add(1)
+		return
+	}
+	blob := midendBlob{Schedule: enc, Fingerprint: ma.Fingerprint}
+	if err := d.Put(kindMidend, key, blob); err != nil {
+		e.diskErrors.Add(1)
+	}
+}
+
+// backEntry memoizes one backend stage run by stage key.
+type backEntry struct {
+	once sync.Once
+	ba   *core.BackendArtifact
+	err  error
+}
+
+// backend returns the backend artifact for (midend artifact, options),
+// binding and building the netlist at most once per stage key — the
+// same three-layer lookup and no-sticky-errors rule as the other
+// stages. The stage keys on the midend artifact's content fingerprint,
+// so two scheduling option sets that converge on the same schedule
+// share one netlist.
+func (e *Engine) backend(ctx context.Context, ma *core.MidendArtifact, o core.BackendOptions) (*core.BackendArtifact, error) {
+	key := core.BackendKey(ma, o)
+	if key == "" {
+		e.backendComputed.Add(1)
+		return core.BackendContext(ctx, ma, o)
+	}
+	e.mu.Lock()
+	if e.backs == nil {
+		e.backs = map[string]*backEntry{}
+	}
+	be, cached := e.backs[key]
+	if !cached {
+		be = &backEntry{}
+		e.backs[key] = be
+	}
+	e.mu.Unlock()
+	if cached {
+		e.backendMemHits.Add(1)
+	}
+	be.once.Do(func() {
+		if ba := e.loadBackend(key); ba != nil {
+			e.backendDiskHits.Add(1)
+			be.ba = ba
+			return
+		}
+		be.ba, be.err = core.BackendContext(ctx, ma, o)
+		e.backendComputed.Add(1)
+		if be.err == nil {
+			enc := be.ba.Materialize()
+			e.storeBackend(key, be.ba, enc)
+		}
+	})
+	if be.err != nil {
+		e.mu.Lock()
+		if e.backs[key] == be {
+			delete(e.backs, key)
+		}
+		e.mu.Unlock()
+	}
+	return be.ba, be.err
+}
+
+// backendBlob is the disk form of a backend artifact: the netlist plus
+// report in the lossless core encoding, and the content fingerprint the
+// revival is verified against.
+type backendBlob struct {
+	Artifact    []byte // core backend encoding (rtl.EncodeModule + report)
+	Fingerprint string
+}
+
+// loadBackend fetches and revives a backend artifact from disk,
+// returning nil on any miss, decode failure, or round-trip mismatch.
+func (e *Engine) loadBackend(key string) *core.BackendArtifact {
+	d := e.diskStore()
+	if d == nil {
+		return nil
+	}
+	var blob backendBlob
+	ok, err := d.Get(kindBackend, key, &blob)
+	if err != nil {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	ba, err := core.DecodeBackendArtifact(blob.Artifact)
+	if err != nil {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	ba.Key = key
+	if ba.Materialize(); ba.Fingerprint != blob.Fingerprint {
+		e.diskErrors.Add(1)
+		return nil
+	}
+	return ba
+}
+
+// storeBackend persists a materialized backend artifact, reusing the
+// encoding Materialize produced; failures only count.
+func (e *Engine) storeBackend(key string, ba *core.BackendArtifact, enc []byte) {
+	d := e.diskStore()
+	if d == nil {
+		return
+	}
+	if enc == nil {
+		e.diskErrors.Add(1)
+		return
+	}
+	blob := backendBlob{Artifact: enc, Fingerprint: ba.Fingerprint}
+	if err := d.Put(kindBackend, key, blob); err != nil {
 		e.diskErrors.Add(1)
 	}
 }

@@ -19,9 +19,12 @@ import (
 // first, then each function's locals), mirroring how CloneProgram
 // resolves identity; call targets are encoded as function indices.
 
-// encType flattens *Type. Arrays are one-dimensional with scalar
-// elements, so one level of element fields suffices.
-type encType struct {
+// TypeCode is the flattened wire form of *Type, exported so the codecs
+// of the downstream stage artifacts (internal/htg, internal/sched,
+// internal/rtl) can carry types without re-inventing the flattening.
+// Arrays are one-dimensional with scalar elements, so one level of
+// element fields suffices. A nil type encodes as Kind -1.
+type TypeCode struct {
 	Kind       int
 	Bits       int
 	Signed     bool
@@ -31,11 +34,12 @@ type encType struct {
 	ElemSigned bool
 }
 
-func encodeType(t *Type) encType {
+// EncodeType flattens a type into its wire form (nil → Kind -1).
+func EncodeType(t *Type) TypeCode {
 	if t == nil {
-		return encType{Kind: -1}
+		return TypeCode{Kind: -1}
 	}
-	e := encType{Kind: int(t.Kind), Bits: t.Bits, Signed: t.Signed}
+	e := TypeCode{Kind: int(t.Kind), Bits: t.Bits, Signed: t.Signed}
 	if t.Kind == KindArray {
 		e.Len = t.Len
 		e.ElemKind = int(t.Elem.Kind)
@@ -44,6 +48,14 @@ func encodeType(t *Type) encType {
 	}
 	return e
 }
+
+type encType = TypeCode
+
+func encodeType(t *Type) encType { return EncodeType(t) }
+
+// DecodeType is the inverse of EncodeType; malformed codes error rather
+// than aliasing onto a wrong type.
+func DecodeType(e TypeCode) (*Type, error) { return decodeType(e) }
 
 func decodeType(e encType) (*Type, error) {
 	if e.Kind == -1 {

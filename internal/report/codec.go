@@ -1,0 +1,32 @@
+package report
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// EncodeTable serializes a table losslessly (gob framing), completing
+// the artifact codec family: every layer of the staged flow — program,
+// graph, schedule, netlist, and the rendered report — has a gob-stable
+// encoder for disk-backed persistence. Tables are plain value structs —
+// title, headers, rows — so the encoding is deterministic byte-for-byte
+// and decode∘encode is the identity, the same contract the stage
+// codecs carry. (JSON surfaces like BENCH_explore.json marshal Table
+// directly; this codec is for gob stores such as internal/cache.)
+func EncodeTable(t *Table) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		return nil, fmt.Errorf("report: encode table: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTable reconstructs a table serialized by EncodeTable.
+func DecodeTable(data []byte) (*Table, error) {
+	var t Table
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("report: decode table: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,49 @@
+package report_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sparkgo/internal/report"
+)
+
+// TestTableCodecRoundTrip: the table codec is lossless and byte-stable,
+// the same encode→decode→encode contract the stage-artifact codecs
+// carry.
+func TestTableCodecRoundTrip(t *testing.T) {
+	tbl := report.New("cache statistics", "layer", "hits", "misses")
+	tbl.Add("frontend", 12, 3)
+	tbl.Add("midend", 7, 0)
+	tbl.Add("backend", 0.5, "n/a")
+
+	enc, err := report.EncodeTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tbl) {
+		t.Fatalf("decoded table differs:\n%v\nvs\n%v", got, tbl)
+	}
+	if got.String() != tbl.String() || got.CSV() != tbl.CSV() {
+		t.Error("decoded table renders differently")
+	}
+	enc2, err := report.EncodeTable(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("table encoding is not a round-trip fixpoint (%d vs %d bytes)", len(enc), len(enc2))
+	}
+}
+
+// TestTableDecodeGarbage: corrupt bytes error instead of yielding a
+// half-decoded table.
+func TestTableDecodeGarbage(t *testing.T) {
+	if _, err := report.DecodeTable([]byte("not a gob stream")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}

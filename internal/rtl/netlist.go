@@ -173,10 +173,7 @@ func (m *Module) Reg(name string, t *ir.Type, init int64) *Signal {
 // op in a basic block).
 func (m *Module) gate(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
 	t *ir.Type, name string, in ...*Signal) *Signal {
-	key := fmt.Sprintf("%d|%d|%d|%v|%s", kind, bin, un, unsignedOps, t)
-	for _, s := range in {
-		key += fmt.Sprintf("|%d", s.ID)
-	}
+	key := gateKey(kind, bin, un, unsignedOps, t, in)
 	if s, ok := m.memo[key]; ok {
 		return s
 	}
@@ -185,6 +182,17 @@ func (m *Module) gate(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
 		UnsignedOps: unsignedOps, In: in})
 	m.memo[key] = out
 	return out
+}
+
+// gateKey renders the structural-sharing memo key of a gate; the codec
+// rebuilds the memo table for decoded modules with the same recipe.
+func gateKey(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
+	t *ir.Type, in []*Signal) string {
+	key := fmt.Sprintf("%d|%d|%d|%v|%s", kind, bin, un, unsignedOps, t)
+	for _, s := range in {
+		key += fmt.Sprintf("|%d", s.ID)
+	}
+	return key
 }
 
 // Bin adds a binary-operator gate.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -76,7 +77,10 @@ type Queue struct {
 	gcRemovedFiles int64
 	gcRemovedBytes int64
 	gcErrors       int64
-	lastGC         time.Time
+	// gcPerKind accumulates removal counters per artifact kind across
+	// GC runs (lazily allocated on the first eviction).
+	gcPerKind map[string]*KindGCView
+	lastGC    time.Time
 }
 
 // NewQueue starts a queue with the given worker-pool size (<=0: 1) over
@@ -380,6 +384,21 @@ func (q *Queue) maybeGC() {
 	}
 	q.gcRemovedFiles += int64(st.RemovedFiles)
 	q.gcRemovedBytes += st.RemovedBytes
+	for _, k := range st.Kinds {
+		if k.RemovedFiles == 0 {
+			continue
+		}
+		if q.gcPerKind == nil {
+			q.gcPerKind = map[string]*KindGCView{}
+		}
+		acc := q.gcPerKind[k.Kind]
+		if acc == nil {
+			acc = &KindGCView{Kind: k.Kind}
+			q.gcPerKind[k.Kind] = acc
+		}
+		acc.RemovedFiles += int64(k.RemovedFiles)
+		acc.RemovedBytes += k.RemovedBytes
+	}
 }
 
 // setProgress updates a job's progress counter.
@@ -464,6 +483,21 @@ func (q *Queue) Stats() StatsView {
 			RemovedFiles: q.gcRemovedFiles,
 			RemovedBytes: q.gcRemovedBytes,
 			Errors:       q.gcErrors,
+			PerKind:      q.gcPerKindLocked(),
 		},
 	}
+}
+
+// gcPerKindLocked snapshots the cumulative per-kind eviction counters,
+// sorted by kind name. Caller holds the queue lock.
+func (q *Queue) gcPerKindLocked() []KindGCView {
+	if len(q.gcPerKind) == 0 {
+		return nil
+	}
+	out := make([]KindGCView, 0, len(q.gcPerKind))
+	for _, k := range q.gcPerKind {
+		out = append(out, *k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
 }

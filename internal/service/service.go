@@ -341,7 +341,8 @@ type JobView struct {
 }
 
 // EngineStatsView is the snake_case mirror of explore.Stats for the
-// stats endpoint.
+// stats endpoint: every layer of the staged flow — point, frontend,
+// midend, backend — split into memory hits / disk hits / computed.
 type EngineStatsView struct {
 	PointMemHits     int64 `json:"point_mem_hits"`
 	PointDiskHits    int64 `json:"point_disk_hits"`
@@ -349,6 +350,12 @@ type EngineStatsView struct {
 	FrontendMemHits  int64 `json:"frontend_mem_hits"`
 	FrontendDiskHits int64 `json:"frontend_disk_hits"`
 	FrontendComputed int64 `json:"frontend_computed"`
+	MidendMemHits    int64 `json:"midend_mem_hits"`
+	MidendDiskHits   int64 `json:"midend_disk_hits"`
+	MidendComputed   int64 `json:"midend_computed"`
+	BackendMemHits   int64 `json:"backend_mem_hits"`
+	BackendDiskHits  int64 `json:"backend_disk_hits"`
+	BackendComputed  int64 `json:"backend_computed"`
 	DiskErrors       int64 `json:"disk_errors"`
 }
 
@@ -363,6 +370,15 @@ type QueueStatsView struct {
 	Canceled  int64 `json:"canceled"`
 }
 
+// KindGCView is the cumulative eviction accounting for one artifact
+// kind (frontend, midend, backend, point), so a long-lived deployment
+// can see which cache layer its byte budget is squeezing.
+type KindGCView struct {
+	Kind         string `json:"kind"`
+	RemovedFiles int64  `json:"removed_files"`
+	RemovedBytes int64  `json:"removed_bytes"`
+}
+
 // GCStatsView is the cumulative cache-GC accounting of a daemon that
 // runs with a byte budget.
 type GCStatsView struct {
@@ -370,6 +386,9 @@ type GCStatsView struct {
 	RemovedFiles int64 `json:"removed_files"`
 	RemovedBytes int64 `json:"removed_bytes"`
 	Errors       int64 `json:"errors"`
+	// PerKind breaks the removal counters down by artifact kind, sorted
+	// by kind name; only kinds that ever lost an artifact appear.
+	PerKind []KindGCView `json:"per_kind,omitempty"`
 }
 
 // StatsView is the /v1/stats payload: where lookups were served from
@@ -392,6 +411,12 @@ func engineStatsView(s explore.Stats) EngineStatsView {
 		FrontendMemHits:  s.FrontendMemHits,
 		FrontendDiskHits: s.FrontendDiskHits,
 		FrontendComputed: s.FrontendComputed,
+		MidendMemHits:    s.MidendMemHits,
+		MidendDiskHits:   s.MidendDiskHits,
+		MidendComputed:   s.MidendComputed,
+		BackendMemHits:   s.BackendMemHits,
+		BackendDiskHits:  s.BackendDiskHits,
+		BackendComputed:  s.BackendComputed,
 		DiskErrors:       s.DiskErrors,
 	}
 }

@@ -338,12 +338,12 @@ func TestSubmitValidation(t *testing.T) {
 	srv, _ := testServer(t, 1)
 	base := srv.URL
 	bad := []Request{
-		{},                       // missing kind
-		{Kind: "mystery"},        // unknown kind
-		{Kind: KindSynth, N: -1}, // bad scale
-		{Kind: KindSearch, Strategy: "annealing"},                            // unknown strategy
-		{Kind: KindSearch, Objective: "beauty"},                              // unknown objective
-		{Kind: KindSweep, Sizes: []int{0}},                                   // bad sweep size
+		{},                                      // missing kind
+		{Kind: "mystery"},                       // unknown kind
+		{Kind: KindSynth, N: -1},                // bad scale
+		{Kind: KindSearch, Strategy: "tabu"},    // unknown strategy
+		{Kind: KindSearch, Objective: "beauty"}, // unknown objective
+		{Kind: KindSweep, Sizes: []int{0}},      // bad sweep size
 		{Kind: KindSynth, Source: "uint8 a; void main("},                     // parse error
 		{Kind: KindSynth, Source: "uint8 a; void main() {}", SourceRef: "x"}, // both
 	}
