@@ -267,6 +267,80 @@ func BenchmarkSynthesizeILD(b *testing.B) {
 	}
 }
 
+// benchSimWorkload synthesizes the n=32 ILD design under the given
+// preset and draws the 64-trial stimulus set the scalar-vs-batch
+// simulator benchmarks share.
+func benchSimWorkload(b *testing.B, preset core.Preset) (*core.Result, []*interp.Env) {
+	b.Helper()
+	p := ild.Program(32)
+	res, err := core.Synthesize(p, core.Options{Preset: preset})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	envs := make([]*interp.Env, rtlsim.MaxLanes)
+	for i := range envs {
+		envs[i] = interp.RandomEnv(p, rng)
+	}
+	return res, envs
+}
+
+// benchmarkSimScalar measures the per-trial scalar loop the evaluation
+// layers used before batching: one fresh Sim per stimulus vector, a map
+// allocated every cycle. Run with -benchmem to see the allocation cost.
+func benchmarkSimScalar(b *testing.B, preset core.Preset) {
+	res, envs := benchSimWorkload(b, preset)
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+	b.ReportMetric(float64(len(envs)), "trials")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, env := range envs {
+			sim := rtlsim.New(res.Module)
+			if err := sim.LoadEnv(res.Input, env); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(maxCycles); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchmarkSimBatch measures the compiled batched path on the same
+// workload, including the per-point Compile cost the exploration engine
+// pays: lower the netlist once, step all 64 trials in lockstep lanes.
+func benchmarkSimBatch(b *testing.B, preset core.Preset) {
+	res, envs := benchSimWorkload(b, preset)
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+	b.ReportMetric(float64(len(envs)), "trials")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog := rtlsim.Compile(res.Module)
+		batch := prog.NewBatch(len(envs))
+		for ln, env := range envs {
+			if err := batch.LoadEnv(ln, res.Input, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := batch.Run(maxCycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimScalarILD / BenchmarkSimBatchILD: 64 trials of the paper's
+// single-cycle n=32 decoder — the dominant cost of a disk-warm-sim sweep.
+func BenchmarkSimScalarILD(b *testing.B) { benchmarkSimScalar(b, core.MicroprocessorBlock) }
+
+func BenchmarkSimBatchILD(b *testing.B) { benchmarkSimBatch(b, core.MicroprocessorBlock) }
+
+// BenchmarkSimScalarILDClassical / BenchmarkSimBatchILDClassical: the
+// same comparison on the sequential classical-ASIC FSM, where the scalar
+// loop's per-cycle map allocation multiplies with the cycle count.
+func BenchmarkSimScalarILDClassical(b *testing.B) { benchmarkSimScalar(b, core.ClassicalASIC) }
+
+func BenchmarkSimBatchILDClassical(b *testing.B) { benchmarkSimBatch(b, core.ClassicalASIC) }
+
 // BenchmarkRTLSimILD measures cycle-accurate simulation throughput of the
 // synthesized single-cycle decoder.
 func BenchmarkRTLSimILD(b *testing.B) {

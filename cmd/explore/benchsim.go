@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/explore"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/interp"
+	"sparkgo/internal/rtlsim"
+)
+
+// simSpeedupFloor is the regression gate for the compiled simulator:
+// batching the SimTrials stimulus vectors through the lowered program
+// must beat the old per-trial scalar loop by at least this factor on
+// the paper's n=32 decoder. The measured margin is ~2x the floor; a
+// report below it means the batch path has regressed (or the scalar
+// path silently became the fast path again).
+const simSpeedupFloor = 5.0
+
+// simBenchRun is one preset's scalar-vs-batch measurement.
+type simBenchRun struct {
+	// Preset names the synthesis regime: "microprocessor-block" is the
+	// paper's single-cycle decoder, "classical-asic" the sequential
+	// baseline whose FSM makes per-cycle costs dominate.
+	Preset string `json:"preset"`
+	// NumStates and WatchdogCycles record the FSM size and the derived
+	// simulation bound the trials ran under.
+	NumStates      int `json:"num_states"`
+	WatchdogCycles int `json:"watchdog_cycles"`
+	// ScalarNanos is the best-of-reps wall time of the per-trial scalar
+	// loop (one Sim per stimulus vector); BatchNanos the same workload
+	// through Compile + RunBatch, compile cost included.
+	ScalarNanos int64   `json:"scalar_ns"`
+	BatchNanos  int64   `json:"batch_ns"`
+	Speedup     float64 `json:"speedup"`
+	// BatchRunAllocs counts heap allocations during the batch Run —
+	// the steady-state per-cycle path must not allocate at all.
+	BatchRunAllocs uint64 `json:"batch_run_allocs"`
+}
+
+// simBenchReport is the BENCH_sim.json schema consumed by CI trend
+// tracking. CacheSchema and StageVersions identify the synthesis
+// generation the modules were built under, so archived reports are only
+// compared within a generation (a stage bump changes the netlists being
+// simulated, which legitimately moves the numbers).
+type simBenchReport struct {
+	Schema        string                `json:"schema"`
+	Timestamp     string                `json:"timestamp"`
+	CacheSchema   string                `json:"cache_schema"`
+	StageVersions explore.StageVersions `json:"stage_versions"`
+	GoOS          string                `json:"goos"`
+	GoArch        string                `json:"goarch"`
+	CPUs          int                   `json:"cpus"`
+	N             int                   `json:"n"`
+	SimTrials     int                   `json:"sim_trials"`
+	SpeedupFloor  float64               `json:"speedup_floor"`
+	Runs          []simBenchRun         `json:"runs"`
+	// Speedup is the minimum across presets — the number the CI gate
+	// reads. BatchRunAllocs is the maximum (which must still be zero).
+	Speedup        float64 `json:"speedup"`
+	BatchRunAllocs uint64  `json:"batch_run_allocs"`
+}
+
+// measureSimPreset times the 64-trial scalar loop against the compiled
+// batch on one synthesis preset and cross-checks that both paths agree
+// on every trial's cycle count (a benchmark that drifts semantically is
+// not a benchmark).
+func measureSimPreset(name string, preset core.Preset, n, trials, reps int) (simBenchRun, error) {
+	run := simBenchRun{Preset: name}
+	res, err := core.Synthesize(ild.Program(n), core.Options{Preset: preset})
+	if err != nil {
+		return run, fmt.Errorf("%s: synthesize: %w", name, err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	envs := make([]*interp.Env, trials)
+	for i := range envs {
+		envs[i] = interp.RandomEnv(res.Input, rng)
+	}
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+	run.NumStates = res.Module.NumStates
+	run.WatchdogCycles = maxCycles
+
+	// Scalar: best of reps, one fresh Sim per trial — the loop shape
+	// core.Verify and the explore engine used before batching.
+	scalarCycles := make([]int, trials)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i, env := range envs {
+			sim := rtlsim.New(res.Module)
+			if err := sim.LoadEnv(res.Input, env); err != nil {
+				return run, fmt.Errorf("%s: scalar load: %w", name, err)
+			}
+			cycles, err := sim.Run(maxCycles)
+			if err != nil {
+				return run, fmt.Errorf("%s: scalar run: %w", name, err)
+			}
+			scalarCycles[i] = cycles
+		}
+		if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < run.ScalarNanos {
+			run.ScalarNanos = ns
+		}
+	}
+
+	// Batch: best of reps, compile cost included — this is what one
+	// design-point evaluation pays.
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		prog := rtlsim.Compile(res.Module)
+		batch := prog.NewBatch(trials)
+		for ln, env := range envs {
+			if err := batch.LoadEnv(ln, res.Input, env); err != nil {
+				return run, fmt.Errorf("%s: batch load: %w", name, err)
+			}
+		}
+		if err := batch.Run(maxCycles); err != nil {
+			return run, fmt.Errorf("%s: batch run: %w", name, err)
+		}
+		if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < run.BatchNanos {
+			run.BatchNanos = ns
+		}
+		for ln := range envs {
+			if got := batch.Cycles(ln); got != scalarCycles[ln] {
+				return run, fmt.Errorf("%s: trial %d: batch took %d cycles, scalar %d",
+					name, ln, got, scalarCycles[ln])
+			}
+		}
+	}
+	if run.BatchNanos > 0 {
+		run.Speedup = float64(run.ScalarNanos) / float64(run.BatchNanos)
+	}
+
+	// Allocation audit: a loaded, un-run batch stepped to completion
+	// must not touch the heap.
+	prog := rtlsim.Compile(res.Module)
+	batch := prog.NewBatch(trials)
+	for ln, env := range envs {
+		if err := batch.LoadEnv(ln, res.Input, env); err != nil {
+			return run, fmt.Errorf("%s: alloc-audit load: %w", name, err)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := batch.Run(maxCycles); err != nil {
+		return run, fmt.Errorf("%s: alloc-audit run: %w", name, err)
+	}
+	runtime.ReadMemStats(&after)
+	run.BatchRunAllocs = after.Mallocs - before.Mallocs
+	return run, nil
+}
+
+// runSimBenchJSON measures the compiled batched simulator against the
+// scalar reference on the paper's n=32 ILD under both presets, asserts
+// the speedup floor and the zero-allocation steady state, and writes
+// the machine-readable report the CI workflow archives.
+func runSimBenchJSON(path string, simTrials int) error {
+	if simTrials < 1 || simTrials > rtlsim.MaxLanes {
+		simTrials = rtlsim.MaxLanes
+	}
+	rep := simBenchReport{
+		Schema:        "sparkgo/bench-sim/v1",
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		CacheSchema:   explore.DiskSchema(),
+		StageVersions: explore.Versions(),
+		GoOS:          runtime.GOOS, GoArch: runtime.GOARCH,
+		CPUs: runtime.NumCPU(),
+		N:    32, SimTrials: simTrials,
+		SpeedupFloor: simSpeedupFloor,
+	}
+	presets := []struct {
+		name   string
+		preset core.Preset
+	}{
+		{"microprocessor-block", core.MicroprocessorBlock},
+		{"classical-asic", core.ClassicalASIC},
+	}
+	const reps = 3
+	for _, pr := range presets {
+		run, err := measureSimPreset(pr.name, pr.preset, rep.N, simTrials, reps)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, run)
+		if rep.Speedup == 0 || run.Speedup < rep.Speedup {
+			rep.Speedup = run.Speedup
+		}
+		if run.BatchRunAllocs > rep.BatchRunAllocs {
+			rep.BatchRunAllocs = run.BatchRunAllocs
+		}
+	}
+	if rep.Speedup < simSpeedupFloor {
+		return fmt.Errorf("sim bench: batch speedup %.2fx below the %.0fx floor", rep.Speedup, simSpeedupFloor)
+	}
+	if rep.BatchRunAllocs != 0 {
+		return fmt.Errorf("sim bench: batch Run allocated %d times; the per-cycle path must be allocation-free",
+			rep.BatchRunAllocs)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, run := range rep.Runs {
+		fmt.Printf("sim bench %s: scalar %.2fms, batch %.2fms (%.1fx), %d allocs in Run\n",
+			run.Preset, float64(run.ScalarNanos)/1e6, float64(run.BatchNanos)/1e6,
+			run.Speedup, run.BatchRunAllocs)
+	}
+	fmt.Printf("wrote %s: min speedup %.1fx (floor %.0fx), n=%d, %d trials\n",
+		path, rep.Speedup, simSpeedupFloor, rep.N, simTrials)
+	return nil
+}

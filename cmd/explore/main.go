@@ -56,6 +56,7 @@ import (
 	"sparkgo/internal/ir"
 	"sparkgo/internal/parser"
 	"sparkgo/internal/report"
+	"sparkgo/internal/rtlsim"
 )
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "garbage-collect the cache directory down to this many bytes after the run (0 = never)")
 	srcFiles := flag.String("src", "", "comma-separated source files to sweep instead of the ILD generator")
 	benchJSON := flag.String("bench-json", "", "write cold/warm/disk-warm sweep benchmark results to this JSON file and exit")
+	simBenchJSON := flag.String("sim-bench-json", "", "write scalar-vs-batched simulator benchmark results to this JSON file and exit")
 	search := flag.Bool("search", false, "run an adaptive design-space search instead of an exhaustive sweep")
 	strategy := flag.String("strategy", "hill", "search strategy: hill (steepest-ascent + restarts), genetic, or anneal (simulated annealing)")
 	objective := flag.String("objective", "weighted", "search objective: latency, area, or weighted")
@@ -118,6 +120,14 @@ func main() {
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *sizes, *workers, *sim); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *simBenchJSON != "" {
+		if err := runSimBenchJSON(*simBenchJSON, rtlsim.MaxLanes); err != nil {
+			fmt.Fprintf(os.Stderr, "sim-bench-json FAILED: %v\n", err)
 			os.Exit(1)
 		}
 		return

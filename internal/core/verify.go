@@ -14,24 +14,41 @@ import (
 // vectors, returning the first divergence found (nil when the design is
 // functionally equivalent on all trials). This is the check the paper
 // performs implicitly by construction; here it is mechanical.
+//
+// The RTL side runs on the compiled batched simulator: the netlist is
+// lowered once and the trials step through it in lanes of
+// rtlsim.MaxLanes, with the cycle watchdog derived from the schedule
+// (rtlsim.WatchdogCycles), so a non-terminating design errors after
+// thousands of cycles rather than millions.
 func Verify(res *Result, trials int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	maxCycles := res.Schedule.NumStates*1024 + 16
-	for trial := 0; trial < trials; trial++ {
-		env := testutil.RandomEnv(res.Input, rng)
-		ref := env.Clone()
-		if _, err := interp.New(res.Input).RunMain(ref); err != nil {
-			return fmt.Errorf("verify trial %d: behavioral: %w", trial, err)
+	maxCycles := rtlsim.WatchdogCycles(res.Schedule.NumStates)
+	prog := rtlsim.Compile(res.Module)
+	for start := 0; start < trials; start += rtlsim.MaxLanes {
+		lanes := min(rtlsim.MaxLanes, trials-start)
+		batch := prog.NewBatch(lanes)
+		refs := make([]*interp.Env, lanes)
+		for ln := 0; ln < lanes; ln++ {
+			trial := start + ln
+			env := testutil.RandomEnv(res.Input, rng)
+			ref := env.Clone()
+			if _, err := interp.New(res.Input).RunMain(ref); err != nil {
+				return fmt.Errorf("verify trial %d: behavioral: %w", trial, err)
+			}
+			if err := batch.LoadEnv(ln, res.Input, env); err != nil {
+				return fmt.Errorf("verify trial %d: %w", trial, err)
+			}
+			refs[ln] = ref
 		}
-		sim := rtlsim.New(res.Module)
-		if err := sim.LoadEnv(res.Input, env); err != nil {
-			return fmt.Errorf("verify trial %d: %w", trial, err)
-		}
-		if _, err := sim.Run(maxCycles); err != nil {
-			return fmt.Errorf("verify trial %d: rtl: %w", trial, err)
-		}
-		if diff := sim.CompareEnv(res.Input, ref); diff != "" {
-			return fmt.Errorf("verify trial %d: mismatch: %s", trial, diff)
+		batch.Run(maxCycles)
+		for ln := 0; ln < lanes; ln++ {
+			trial := start + ln
+			if err := batch.Err(ln); err != nil {
+				return fmt.Errorf("verify trial %d: rtl: %w", trial, err)
+			}
+			if diff := batch.CompareEnv(ln, res.Input, refs[ln]); diff != "" {
+				return fmt.Errorf("verify trial %d: mismatch: %s", trial, diff)
+			}
 		}
 	}
 	return nil

@@ -179,22 +179,22 @@ func E13Baseline(sizes []int) (*report.Table, error) {
 
 // simulatedCycles runs the synthesized design on random inputs and
 // returns the maximum cycle count observed (the FSM latency per
-// activation).
+// activation). Trials run batched on the compiled simulator, bounded by
+// the schedule-derived watchdog.
 func simulatedCycles(res *core.Result, trials int) (int, error) {
 	rng := rand.New(rand.NewSource(23))
+	envs := make([]*interp.Env, trials)
+	for i := range envs {
+		envs[i] = testutil.RandomEnv(res.Input, rng)
+	}
+	prog := rtlsim.Compile(res.Module)
 	max := 0
-	for trial := 0; trial < trials; trial++ {
-		env := testutil.RandomEnv(res.Input, rng)
-		sim := rtlsim.New(res.Module)
-		if err := sim.LoadEnv(res.Input, env); err != nil {
-			return 0, err
+	for _, lr := range prog.RunBatch(res.Input, envs, rtlsim.WatchdogCycles(res.Module.NumStates)) {
+		if lr.Err != nil {
+			return 0, lr.Err
 		}
-		cycles, err := sim.Run(1 << 22)
-		if err != nil {
-			return 0, err
-		}
-		if cycles > max {
-			max = cycles
+		if lr.Cycles > max {
+			max = lr.Cycles
 		}
 	}
 	return max, nil

@@ -549,24 +549,34 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 // hash, which would hand two configs the same stimulus whenever their
 // canonical strings collide across sources, and would keep stimulus
 // correlated across sweep axes that don't reach the simulator.
+//
+// The netlist is compiled once (rtlsim.Compile) and the trials run in
+// batched lanes, so gate dispatch is amortized across the whole trial
+// set — this is the dominant cost of a disk-warm-sim sweep. The cycle
+// watchdog is derived from the FSM size (rtlsim.WatchdogCycles), so a
+// non-terminating design errors within thousands of cycles instead of
+// burning millions per trial. Cancellation is observed between lane
+// batches.
 func (e *Engine) simulate(ctx context.Context, src *sourceEntry, mod *rtl.Module, c Config) (int, error) {
 	rng := rand.New(rand.NewSource(simSeed(src.fingerprint, c)))
+	prog := rtlsim.Compile(mod)
+	maxCycles := rtlsim.WatchdogCycles(mod.NumStates)
 	max := 0
-	for trial := 0; trial < e.SimTrials; trial++ {
+	for start := 0; start < e.SimTrials; start += rtlsim.MaxLanes {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		env := interp.RandomEnv(src.prog, rng)
-		sim := rtlsim.New(mod)
-		if err := sim.LoadEnv(src.prog, env); err != nil {
-			return 0, err
+		envs := make([]*interp.Env, min(rtlsim.MaxLanes, e.SimTrials-start))
+		for i := range envs {
+			envs[i] = interp.RandomEnv(src.prog, rng)
 		}
-		cycles, err := sim.Run(1 << 22)
-		if err != nil {
-			return 0, err
-		}
-		if cycles > max {
-			max = cycles
+		for _, lr := range prog.RunBatch(src.prog, envs, maxCycles) {
+			if lr.Err != nil {
+				return 0, lr.Err
+			}
+			if lr.Cycles > max {
+				max = lr.Cycles
+			}
 		}
 	}
 	return max, nil

@@ -1,0 +1,46 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sparkgo/internal/ir"
+	"sparkgo/internal/parser"
+	"sparkgo/internal/rtl"
+	"sparkgo/internal/rtlsim"
+)
+
+// TestSimulateWatchdogDerivedFromSchedule is the watchdog regression for
+// the engine's latency measurement: a non-terminating design must error
+// after the schedule-derived bound (rtlsim.WatchdogCycles) — not after
+// the 1<<22-cycle budget the trial loop used to hardcode, which burned
+// ~4M cycles × SimTrials per hung point.
+func TestSimulateWatchdogDerivedFromSchedule(t *testing.T) {
+	prog := parser.MustParse("hung", "uint8 a;\nvoid main() { a = a; }")
+	m := rtl.NewModule("hung")
+	a := m.Input("a", ir.U8)
+	m.ScalarPort["a"] = a
+	m.NumStates = 1
+	m.Trans = []rtl.Transition{{From: 0, To: 0}} // self-loop forever
+
+	e := &Engine{SimTrials: 8}
+	src := &sourceEntry{prog: prog, fingerprint: "test-hung"}
+	start := time.Now()
+	_, err := e.simulate(context.Background(), src, m, Config{N: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected watchdog error for hung FSM")
+	}
+	bound := rtlsim.WatchdogCycles(m.NumStates)
+	if !strings.Contains(err.Error(), "exceeded") || !strings.Contains(err.Error(), fmt.Sprint(bound)) {
+		t.Fatalf("error %q does not report the derived bound %d", err, bound)
+	}
+	// The derived bound is ~4000x smaller than the old hardcoded budget;
+	// even a slow machine finishes 8 trials of 1040 cycles within seconds.
+	if elapsed > 10*time.Second {
+		t.Fatalf("watchdog took %v; the bound is not being derived from the schedule", elapsed)
+	}
+}

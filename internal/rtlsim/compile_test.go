@@ -1,0 +1,367 @@
+package rtlsim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/interp"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
+	"sparkgo/internal/rtlsim"
+	"sparkgo/internal/testutil"
+)
+
+// differentialDesigns enumerates the DifferentialILD design matrix: every
+// buffer size in both synthesis regimes plus the natural (while-form)
+// description — the corpus the compiled path is pinned against.
+func differentialDesigns(t *testing.T) map[string]*core.Result {
+	t.Helper()
+	designs := map[string]*core.Result{}
+	for _, n := range []int{4, 8, 16, 32} {
+		micro, err := core.Synthesize(ild.Program(n), core.Options{Preset: core.MicroprocessorBlock})
+		if err != nil {
+			t.Fatalf("n=%d micro: %v", n, err)
+		}
+		designs[fmt.Sprintf("micro/n=%d", n)] = micro
+		classical, err := core.Synthesize(ild.Program(n), core.Options{Preset: core.ClassicalASIC})
+		if err != nil {
+			t.Fatalf("n=%d classical: %v", n, err)
+		}
+		designs[fmt.Sprintf("classical/n=%d", n)] = classical
+		natural, err := core.Synthesize(ild.NaturalProgram(n), core.Options{
+			Preset: core.MicroprocessorBlock, NormalizeWhile: true,
+		})
+		if err != nil {
+			t.Fatalf("n=%d natural: %v", n, err)
+		}
+		designs[fmt.Sprintf("natural/n=%d", n)] = natural
+	}
+	return designs
+}
+
+// TestCompiledDifferentialSuite pins the compiled batch path bit-for-bit
+// against the scalar Sim (the reference implementation) and the
+// behavioral interpreter on every DifferentialILD design: for each seeded
+// stimulus vector, all three executions must agree on every architectural
+// port and on the cycle count.
+func TestCompiledDifferentialSuite(t *testing.T) {
+	for name, res := range differentialDesigns(t) {
+		name, res := name, res
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const trials = 24
+			rng := rand.New(rand.NewSource(77))
+			input := res.Input
+			maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+
+			envs := make([]*interp.Env, trials)
+			refs := make([]*interp.Env, trials)
+			scalars := make([]*rtlsim.Sim, trials)
+			scalarCycles := make([]int, trials)
+			for i := range envs {
+				envs[i] = testutil.RandomEnv(input, rng)
+				refs[i] = envs[i].Clone()
+				if _, err := interp.New(input).RunMain(refs[i]); err != nil {
+					t.Fatalf("trial %d: interp: %v", i, err)
+				}
+				sim := rtlsim.New(res.Module)
+				if err := sim.LoadEnv(input, envs[i].Clone()); err != nil {
+					t.Fatalf("trial %d: scalar load: %v", i, err)
+				}
+				cycles, err := sim.Run(maxCycles)
+				if err != nil {
+					t.Fatalf("trial %d: scalar run: %v", i, err)
+				}
+				scalars[i] = sim
+				scalarCycles[i] = cycles
+				if diff := sim.CompareEnv(input, refs[i]); diff != "" {
+					t.Fatalf("trial %d: scalar vs interp: %s", i, diff)
+				}
+			}
+
+			prog := rtlsim.Compile(res.Module)
+			for i, lr := range prog.RunBatch(input, envs, maxCycles) {
+				if lr.Err != nil {
+					t.Fatalf("trial %d: batch: %v", i, lr.Err)
+				}
+				if lr.Cycles != scalarCycles[i] {
+					t.Fatalf("trial %d: batch ran %d cycles, scalar %d", i, lr.Cycles, scalarCycles[i])
+				}
+				// RunBatch stored the lane's final ports back into envs[i];
+				// it must match the behavioral reference exactly.
+				if diff := rtlsim.CompareEnvs(input, envs[i], refs[i]); diff != "" {
+					t.Fatalf("trial %d: batch vs interp: %s", i, diff)
+				}
+			}
+		})
+	}
+}
+
+// dataDependentDesign synthesizes a classical-FSM design whose cycle
+// count depends on the stimulus, so batched lanes genuinely finish at
+// different times (exercising active-set compaction).
+func dataDependentDesign(t *testing.T) *core.Result {
+	t.Helper()
+	p := ild.Program(8)
+	res, err := core.Synthesize(p, core.Options{Preset: core.ClassicalASIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLaneIndependencePermutation is the seeded lane-independence
+// property: permuting the stimulus order across lanes never changes any
+// trial's result. Each trial's (cycles, final ports) must depend only on
+// its own stimulus, not on which lane it occupies or who its batch
+// neighbours are.
+func TestLaneIndependencePermutation(t *testing.T) {
+	res := dataDependentDesign(t)
+	input := res.Input
+	prog := rtlsim.Compile(res.Module)
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+
+	const trials = rtlsim.MaxLanes
+	rng := rand.New(rand.NewSource(99))
+	base := make([]*interp.Env, trials)
+	for i := range base {
+		base[i] = testutil.RandomEnv(input, rng)
+	}
+	run := func(order []int) ([]int, []*interp.Env) {
+		envs := make([]*interp.Env, trials)
+		for pos, idx := range order {
+			envs[pos] = base[idx].Clone()
+		}
+		cycles := make([]int, trials)
+		for pos, lr := range prog.RunBatch(input, envs, maxCycles) {
+			if lr.Err != nil {
+				t.Fatalf("lane %d (trial %d): %v", pos, order[pos], lr.Err)
+			}
+			cycles[pos] = lr.Cycles
+		}
+		return cycles, envs
+	}
+
+	identity := make([]int, trials)
+	for i := range identity {
+		identity[i] = i
+	}
+	wantCycles, wantEnvs := run(identity)
+
+	// The workload must actually spread finish times across lanes, or the
+	// property is vacuous for the compaction path.
+	spread := map[int]bool{}
+	for _, c := range wantCycles {
+		spread[c] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("workload finished every lane in the same %d cycles; want data-dependent spread", wantCycles[0])
+	}
+
+	perm := rand.New(rand.NewSource(7))
+	for round := 0; round < 5; round++ {
+		order := perm.Perm(trials)
+		gotCycles, gotEnvs := run(order)
+		for pos, idx := range order {
+			if gotCycles[pos] != wantCycles[idx] {
+				t.Fatalf("round %d: trial %d ran %d cycles in lane %d, %d in lane %d",
+					round, idx, gotCycles[pos], pos, wantCycles[idx], idx)
+			}
+			if diff := rtlsim.CompareEnvs(input, gotEnvs[pos], wantEnvs[idx]); diff != "" {
+				t.Fatalf("round %d: trial %d diverged in lane %d: %s", round, idx, pos, diff)
+			}
+		}
+	}
+}
+
+// hungModule builds a minimal non-terminating design: a one-state FSM
+// whose only transition loops back to itself, with an input port so
+// environments load cleanly.
+func hungModule() *rtl.Module {
+	m := rtl.NewModule("hung")
+	a := m.Input("a", ir.U8)
+	m.ScalarPort["a"] = a
+	m.NumStates = 1
+	m.Trans = []rtl.Transition{{From: 0, To: 0}}
+	return m
+}
+
+// TestWatchdogHungFSM is the watchdog regression: a non-terminating
+// design must error after the schedule-derived bound — thousands of
+// cycles — on both the scalar and the batched path, not after the old
+// hardcoded 1<<22-cycle budget.
+func TestWatchdogHungFSM(t *testing.T) {
+	m := hungModule()
+	bound := rtlsim.WatchdogCycles(m.NumStates)
+	if bound >= 1<<22 {
+		t.Fatalf("derived bound %d is no better than the old hardcoded 1<<22", bound)
+	}
+
+	sim := rtlsim.New(m)
+	cycles, err := sim.Run(bound)
+	if err == nil {
+		t.Fatal("scalar: expected watchdog error for hung FSM")
+	}
+	if cycles != bound {
+		t.Fatalf("scalar: stopped at %d cycles, want the derived bound %d", cycles, bound)
+	}
+
+	prog := rtlsim.Compile(m)
+	batch := prog.NewBatch(4)
+	batch.Run(bound)
+	for ln := 0; ln < 4; ln++ {
+		err := batch.Err(ln)
+		if err == nil {
+			t.Fatalf("batch lane %d: expected watchdog error for hung FSM", ln)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprint(bound)) {
+			t.Fatalf("batch lane %d: error %q does not mention the bound %d", ln, err, bound)
+		}
+		if batch.Cycles(ln) != bound {
+			t.Fatalf("batch lane %d: stopped at %d cycles, want %d", ln, batch.Cycles(ln), bound)
+		}
+	}
+}
+
+// stuckModule builds a design whose single state has no matching
+// transition (its only edge requires a condition that is constant-false)
+// and a register write that would fire in that state — the setup for the
+// commit-before-transition-check corruption bug.
+func stuckModule() *rtl.Module {
+	m := rtl.NewModule("stuck")
+	r := m.Reg("r", ir.U8, 5)
+	m.ScalarPort["r"] = r
+	nine := m.ConstSignal(9, ir.U8)
+	never := m.ConstSignal(0, ir.Bool)
+	m.NumStates = 1
+	m.RegWrites = []rtl.RegWrite{{Reg: r, State: 0, Value: nine}}
+	m.Trans = []rtl.Transition{{From: 0, Cond: never, CondValue: true, To: -1}}
+	return m
+}
+
+// TestNoTransitionLeavesStateUntouched is the corruption regression: when
+// no FSM transition matches, the simulator must report the error with the
+// pre-commit picture intact — registers unwritten, cycle counter and FSM
+// state unchanged — on both the scalar and the batched path.
+func TestNoTransitionLeavesStateUntouched(t *testing.T) {
+	sim := rtlsim.New(stuckModule())
+	if err := sim.Step(); err == nil {
+		t.Fatal("scalar: expected no-matching-transition error")
+	}
+	if v, _ := sim.Scalar("r"); v != 5 {
+		t.Errorf("scalar: register committed on failed transition: r=%d, want 5", v)
+	}
+	if sim.Cycles() != 0 {
+		t.Errorf("scalar: cycle counter advanced on failed transition: %d, want 0", sim.Cycles())
+	}
+	if sim.State() != 0 {
+		t.Errorf("scalar: state moved on failed transition: %d, want 0", sim.State())
+	}
+
+	prog := rtlsim.Compile(stuckModule())
+	batch := prog.NewBatch(3)
+	batch.Run(16)
+	for ln := 0; ln < 3; ln++ {
+		if err := batch.Err(ln); err == nil {
+			t.Fatalf("batch lane %d: expected no-matching-transition error", ln)
+		}
+		if v, _ := batch.Scalar(ln, "r"); v != 5 {
+			t.Errorf("batch lane %d: register committed on failed transition: r=%d, want 5", ln, v)
+		}
+		if batch.Cycles(ln) != 0 {
+			t.Errorf("batch lane %d: cycle counter advanced: %d, want 0", ln, batch.Cycles(ln))
+		}
+	}
+}
+
+// TestCompareEnvLengthGuard is the differential-harness panic regression:
+// a module whose array port disagrees in length with the program's array
+// type must produce a mismatch diagnostic, not an index panic.
+func TestCompareEnvLengthGuard(t *testing.T) {
+	// Module with a 2-element "A" port against a program with A: uint8[4].
+	m := rtl.NewModule("short")
+	m.ArrayPort["A"] = []*rtl.Signal{m.Input("A0", ir.U8), m.Input("A1", ir.U8)}
+	m.NumStates = 0
+
+	prog := ir.NewProgram("p")
+	prog.Globals = append(prog.Globals, &ir.Var{Name: "A", Type: ir.Array(ir.U8, 4)})
+	env := interp.NewEnv(prog)
+
+	sim := rtlsim.New(m)
+	diff := sim.CompareEnv(prog, env)
+	if diff == "" {
+		t.Fatal("scalar: expected a length-mismatch diagnostic, got equality")
+	}
+	if !strings.Contains(diff, "length") {
+		t.Fatalf("scalar: diagnostic %q does not report the length divergence", diff)
+	}
+
+	batch := rtlsim.Compile(m).NewBatch(1)
+	diff = batch.CompareEnv(0, prog, env)
+	if diff == "" || !strings.Contains(diff, "length") {
+		t.Fatalf("batch: diagnostic %q does not report the length divergence", diff)
+	}
+}
+
+// TestBatchZeroAllocPerCycle asserts the compiled hot path is
+// allocation-free: stepping a full batch through a multi-cycle design
+// allocates nothing after setup — the property that removed the
+// per-cycle map of the scalar Sim.
+func TestBatchZeroAllocPerCycle(t *testing.T) {
+	res := dataDependentDesign(t)
+	prog := rtlsim.Compile(res.Module)
+	batch := prog.NewBatch(rtlsim.MaxLanes)
+	rng := rand.New(rand.NewSource(5))
+	for ln := 0; ln < rtlsim.MaxLanes; ln++ {
+		if err := batch.LoadEnv(ln, res.Input, testutil.RandomEnv(res.Input, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+	allocs := testing.AllocsPerRun(10, func() {
+		batch.Reset()
+		if err := batch.Run(maxCycles); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batch Run allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestRunBatchChunksBeyondMaxLanes covers the chunking path: more trials
+// than MaxLanes must still come back one result per env, in order.
+func TestRunBatchChunksBeyondMaxLanes(t *testing.T) {
+	res := dataDependentDesign(t)
+	input := res.Input
+	prog := rtlsim.Compile(res.Module)
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+
+	const trials = rtlsim.MaxLanes + 17
+	rng := rand.New(rand.NewSource(11))
+	envs := make([]*interp.Env, trials)
+	refs := make([]*interp.Env, trials)
+	for i := range envs {
+		envs[i] = testutil.RandomEnv(input, rng)
+		refs[i] = envs[i].Clone()
+		if _, err := interp.New(input).RunMain(refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := prog.RunBatch(input, envs, maxCycles)
+	if len(results) != trials {
+		t.Fatalf("got %d results for %d envs", len(results), trials)
+	}
+	for i, lr := range results {
+		if lr.Err != nil {
+			t.Fatalf("trial %d: %v", i, lr.Err)
+		}
+		if diff := rtlsim.CompareEnvs(input, envs[i], refs[i]); diff != "" {
+			t.Fatalf("trial %d: %s", i, diff)
+		}
+	}
+}

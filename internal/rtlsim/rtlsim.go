@@ -178,6 +178,13 @@ func (s *Sim) Step() error {
 			break
 		}
 	}
+	// A state with no matching transition is a controller bug. Report it
+	// before committing anything: registers, the cycle counter, and the
+	// FSM state keep their pre-transition values, so the error describes
+	// the state the failure actually occurred in.
+	if next == -2 {
+		return fmt.Errorf("rtlsim: state %d has no matching transition", s.state)
+	}
 	// 3. Register commit for the current state — two-phase, like real
 	// flip-flops: every write value is sampled from pre-clock state
 	// before any register updates (a write's Value may itself be a
@@ -196,12 +203,9 @@ func (s *Sim) Step() error {
 		s.vals[c.reg] = c.val
 	}
 	s.cycle++
-	switch next {
-	case -1:
+	if next == -1 {
 		s.done = true
-	case -2:
-		return fmt.Errorf("rtlsim: state %d has no matching transition", s.state)
-	default:
+	} else {
 		s.state = next
 	}
 	return nil
@@ -247,11 +251,8 @@ func (s *Sim) CompareEnv(p *ir.Program, env *interp.Env) string {
 			if err != nil {
 				return err.Error()
 			}
-			want := env.Array(g)
-			for i := range want {
-				if got[i] != want[i] {
-					return fmt.Sprintf("%s[%d]: rtl=%d behavioral=%d", g.Name, i, got[i], want[i])
-				}
+			if diff := compareArray(g.Name, got, env.Array(g)); diff != "" {
+				return diff
 			}
 		} else {
 			got, err := s.Scalar(g.Name)

@@ -11,11 +11,6 @@ import (
 	"sparkgo/internal/rtlsim"
 )
 
-// maxSimCycles bounds one RTL activation in the differential harness
-// (sequential baselines need roughly n cycles; this is a safety net, not
-// a budget).
-const maxSimCycles = 1 << 22
-
 // DifferentialILD is the differential test harness for the paper's case
 // study: it drives `trials` seeded random ILD buffers through both the
 // behavioral interpreter on the input program (the golden model) and the
@@ -24,18 +19,42 @@ const maxSimCycles = 1 << 22
 // identical — and that both agree with the reference software decoder.
 // input must be the untouched behavioral program the module was
 // synthesized from, with an n-byte decode window.
+//
+// The module side runs on the compiled batched simulator: the netlist is
+// lowered once and the trials step in lanes of rtlsim.MaxLanes, with the
+// cycle watchdog derived from the FSM size (the sequential baselines
+// need roughly n cycles per state; rtlsim.WatchdogCycles is a safety
+// net, not a budget).
 func DifferentialILD(input *ir.Program, m *rtl.Module, n, trials int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	for trial := 0; trial < trials; trial++ {
-		buf := ild.RandomBuffer(rng, n)
-		if err := diffOneBuffer(input, m, buf, n); err != nil {
-			return fmt.Errorf("n=%d trial %d: %w", n, trial, err)
+	prog := rtlsim.Compile(m)
+	maxCycles := rtlsim.WatchdogCycles(m.NumStates)
+	for start := 0; start < trials; start += rtlsim.MaxLanes {
+		lanes := min(rtlsim.MaxLanes, trials-start)
+		batch := prog.NewBatch(lanes)
+		bufs := make([][]byte, lanes)
+		for ln := range bufs {
+			buf := ild.RandomBuffer(rng, n)
+			bufs[ln] = buf
+			vals := make([]int64, len(buf))
+			for i, b := range buf {
+				vals[i] = int64(b)
+			}
+			if err := batch.SetArray(ln, "B", vals); err != nil {
+				return fmt.Errorf("n=%d trial %d: %w", n, start+ln, err)
+			}
+		}
+		batch.Run(maxCycles)
+		for ln, buf := range bufs {
+			if err := diffOneBuffer(input, batch, ln, buf, n); err != nil {
+				return fmt.Errorf("n=%d trial %d: %w", n, start+ln, err)
+			}
 		}
 	}
 	return nil
 }
 
-func diffOneBuffer(input *ir.Program, m *rtl.Module, buf []byte, n int) error {
+func diffOneBuffer(input *ir.Program, batch *rtlsim.Batch, lane int, buf []byte, n int) error {
 	// Golden model: behavioral interpretation of the input program.
 	env := interp.NewEnv(input)
 	if err := ild.LoadBuffer(input, env, buf); err != nil {
@@ -48,22 +67,14 @@ func diffOneBuffer(input *ir.Program, m *rtl.Module, buf []byte, n int) error {
 	goldLens := ild.ReadLens(input, env)
 
 	// Device under test: the synthesized module, cycle-accurately.
-	sim := rtlsim.New(m)
-	vals := make([]int64, len(buf))
-	for i, b := range buf {
-		vals[i] = int64(b)
-	}
-	if err := sim.SetArray("B", vals); err != nil {
-		return err
-	}
-	if _, err := sim.Run(maxSimCycles); err != nil {
+	if err := batch.Err(lane); err != nil {
 		return fmt.Errorf("rtlsim: %w", err)
 	}
-	simMarks, err := sim.Array("Mark")
+	simMarks, err := batch.Array(lane, "Mark")
 	if err != nil {
 		return err
 	}
-	simLens, err := sim.Array("Len")
+	simLens, err := batch.Array(lane, "Len")
 	if err != nil {
 		return err
 	}
