@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/explore"
+	"sparkgo/internal/htg"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
+	"sparkgo/internal/sched"
+)
+
+// codecSpeedupFloor is the regression gate for the wire codec: the
+// encode+decode round trip of the backend netlist — the hot payload of
+// every disk-backed sweep — must beat the retired gob baseline by at
+// least this factor. Measured margin is ~2.2x on the n=16 decoder; a
+// report below the floor means the hand-rolled codec has regressed to
+// reflection-era cost.
+const codecSpeedupFloor = 2.0
+
+// verifyRatioCeiling gates the streaming-hash revival design: verifying
+// a stored artifact (one SHA-256 pass over its wire bytes) must cost
+// less than decoding it, on every artifact kind. The measured ratio is
+// ~0.02-0.05; a ratio at or above 1 would mean hash-verify-then-
+// lazy-decode revival is pointless.
+const verifyRatioCeiling = 1.0
+
+// codecBenchRun is one artifact kind's wire-vs-gob measurement.
+type codecBenchRun struct {
+	// Kind names the artifact layer: program (frontend), graph and
+	// schedule (midend), module (backend netlist).
+	Kind string `json:"kind"`
+	// WireBytes and GobBytes are the encoded sizes.
+	WireBytes int `json:"wire_bytes"`
+	GobBytes  int `json:"gob_bytes"`
+	// Per-op nanoseconds and allocations from testing.Benchmark.
+	WireEncodeNs     int64 `json:"wire_encode_ns"`
+	WireDecodeNs     int64 `json:"wire_decode_ns"`
+	GobEncodeNs      int64 `json:"gob_encode_ns"`
+	GobDecodeNs      int64 `json:"gob_decode_ns"`
+	FingerprintNs    int64 `json:"fingerprint_ns"`
+	WireEncodeAllocs int64 `json:"wire_encode_allocs"`
+	WireDecodeAllocs int64 `json:"wire_decode_allocs"`
+	// RoundTripSpeedup is gob (encode+decode) over wire (encode+decode).
+	RoundTripSpeedup float64 `json:"round_trip_speedup"`
+	// VerifyVsDecode is fingerprint cost over wire decode cost — what a
+	// disk revival pays relative to what the old decode-to-verify paid.
+	VerifyVsDecode float64 `json:"verify_vs_decode"`
+}
+
+// codecBenchReport is the BENCH_codec.json schema consumed by CI trend
+// tracking. CacheSchema and StageVersions identify the artifact
+// generation measured, so archived reports are only compared within a
+// generation.
+type codecBenchReport struct {
+	Schema        string                `json:"schema"`
+	Timestamp     string                `json:"timestamp"`
+	CacheSchema   string                `json:"cache_schema"`
+	StageVersions explore.StageVersions `json:"stage_versions"`
+	GoOS          string                `json:"goos"`
+	GoArch        string                `json:"goarch"`
+	CPUs          int                   `json:"cpus"`
+	N             int                   `json:"n"`
+	SpeedupFloor  float64               `json:"speedup_floor"`
+	VerifyCeiling float64               `json:"verify_ceiling"`
+	Runs          []codecBenchRun       `json:"runs"`
+	// BackendRoundTripSpeedup is the module run's speedup — the number
+	// the CI gate reads. VerifyVsDecodeMax is the worst ratio across
+	// kinds (which must still be under the ceiling).
+	BackendRoundTripSpeedup float64 `json:"backend_round_trip_speedup"`
+	VerifyVsDecodeMax       float64 `json:"verify_vs_decode_max"`
+}
+
+// codecKind bundles one artifact layer's codecs for measurement.
+type codecKind struct {
+	kind    string
+	wireEnc func() ([]byte, error)
+	wireDec func([]byte) error
+	gobEnc  func() ([]byte, error)
+	gobDec  func([]byte) error
+}
+
+// benchNs times f with the testing benchmark driver, returning per-op
+// nanoseconds and allocations. The heap is settled first so the garbage
+// of one measurement doesn't tax the next — six timings run back to back
+// in one process, and GC debt is the main cross-contamination channel.
+func benchNs(f func() error) (int64, int64, error) {
+	runtime.GC()
+	var inner error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				inner = err
+				b.FailNow()
+			}
+		}
+	})
+	if inner != nil {
+		return 0, 0, inner
+	}
+	return r.NsPerOp(), int64(r.AllocsPerOp()), nil
+}
+
+// measureCodecKind runs the six measurements of one artifact kind.
+func measureCodecKind(k codecKind) (codecBenchRun, error) {
+	run := codecBenchRun{Kind: k.kind}
+	wireEnc, err := k.wireEnc()
+	if err != nil {
+		return run, fmt.Errorf("%s: wire encode: %w", k.kind, err)
+	}
+	gobEnc, err := k.gobEnc()
+	if err != nil {
+		return run, fmt.Errorf("%s: gob encode: %w", k.kind, err)
+	}
+	run.WireBytes, run.GobBytes = len(wireEnc), len(gobEnc)
+
+	measure := func(dst *int64, allocs *int64, f func() error) error {
+		ns, al, err := benchNs(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.kind, err)
+		}
+		*dst = ns
+		if allocs != nil {
+			*allocs = al
+		}
+		return nil
+	}
+	if err := measure(&run.WireEncodeNs, &run.WireEncodeAllocs, func() error {
+		_, err := k.wireEnc()
+		return err
+	}); err != nil {
+		return run, err
+	}
+	if err := measure(&run.WireDecodeNs, &run.WireDecodeAllocs, func() error {
+		return k.wireDec(wireEnc)
+	}); err != nil {
+		return run, err
+	}
+	if err := measure(&run.GobEncodeNs, nil, func() error {
+		_, err := k.gobEnc()
+		return err
+	}); err != nil {
+		return run, err
+	}
+	if err := measure(&run.GobDecodeNs, nil, func() error {
+		return k.gobDec(gobEnc)
+	}); err != nil {
+		return run, err
+	}
+	if err := measure(&run.FingerprintNs, nil, func() error {
+		if ir.FingerprintBytes(wireEnc) == "" {
+			return fmt.Errorf("empty fingerprint")
+		}
+		return nil
+	}); err != nil {
+		return run, err
+	}
+	if wire := run.WireEncodeNs + run.WireDecodeNs; wire > 0 {
+		run.RoundTripSpeedup = float64(run.GobEncodeNs+run.GobDecodeNs) / float64(wire)
+	}
+	if run.WireDecodeNs > 0 {
+		run.VerifyVsDecode = float64(run.FingerprintNs) / float64(run.WireDecodeNs)
+	}
+	return run, nil
+}
+
+// runCodecBenchJSON measures every artifact codec against the retired
+// gob baseline on the paper's n=16 ILD, asserts the backend round-trip
+// floor and the verify-vs-decode ceiling, and writes the
+// machine-readable report the CI workflow archives.
+func runCodecBenchJSON(path string) error {
+	rep := codecBenchReport{
+		Schema:        "sparkgo/bench-codec/v1",
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		CacheSchema:   explore.DiskSchema(),
+		StageVersions: explore.Versions(),
+		GoOS:          runtime.GOOS, GoArch: runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		N:             16,
+		SpeedupFloor:  codecSpeedupFloor,
+		VerifyCeiling: verifyRatioCeiling,
+	}
+	opt := core.Options{Preset: core.MicroprocessorBlock}
+	fa, err := core.Frontend(ild.Program(rep.N), opt.FrontendOptions())
+	if err != nil {
+		return fmt.Errorf("frontend: %w", err)
+	}
+	ma, err := core.Midend(fa, opt.MidendOptions())
+	if err != nil {
+		return fmt.Errorf("midend: %w", err)
+	}
+	ba, err := core.Backend(ma, opt.BackendOptions())
+	if err != nil {
+		return fmt.Errorf("backend: %w", err)
+	}
+	kinds := []codecKind{
+		{
+			kind:    "program",
+			wireEnc: func() ([]byte, error) { return ir.EncodeProgram(fa.Program) },
+			wireDec: func(d []byte) error { _, err := ir.DecodeProgram(d); return err },
+			gobEnc:  func() ([]byte, error) { return ir.EncodeProgramGob(fa.Program) },
+			gobDec:  func(d []byte) error { _, err := ir.DecodeProgramGob(d); return err },
+		},
+		{
+			kind:    "graph",
+			wireEnc: func() ([]byte, error) { return htg.EncodeGraph(ma.Graph) },
+			wireDec: func(d []byte) error { _, err := htg.DecodeGraph(d); return err },
+			gobEnc:  func() ([]byte, error) { return htg.EncodeGraphGob(ma.Graph) },
+			gobDec:  func(d []byte) error { _, err := htg.DecodeGraphGob(d); return err },
+		},
+		{
+			kind:    "schedule",
+			wireEnc: func() ([]byte, error) { return sched.EncodeResult(ma.Schedule) },
+			wireDec: func(d []byte) error { _, err := sched.DecodeResult(d); return err },
+			gobEnc:  func() ([]byte, error) { return sched.EncodeResultGob(ma.Schedule) },
+			gobDec:  func(d []byte) error { _, err := sched.DecodeResultGob(d); return err },
+		},
+		{
+			kind:    "module",
+			wireEnc: func() ([]byte, error) { return rtl.EncodeModule(ba.Module) },
+			wireDec: func(d []byte) error { _, err := rtl.DecodeModule(d); return err },
+			gobEnc:  func() ([]byte, error) { return rtl.EncodeModuleGob(ba.Module) },
+			gobDec:  func(d []byte) error { _, err := rtl.DecodeModuleGob(d); return err },
+		},
+	}
+	for _, k := range kinds {
+		run, err := measureCodecKind(k)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, run)
+		if k.kind == "module" {
+			rep.BackendRoundTripSpeedup = run.RoundTripSpeedup
+		}
+		if run.VerifyVsDecode > rep.VerifyVsDecodeMax {
+			rep.VerifyVsDecodeMax = run.VerifyVsDecode
+		}
+	}
+	if rep.BackendRoundTripSpeedup < codecSpeedupFloor {
+		return fmt.Errorf("codec bench: backend wire round trip %.2fx over gob, below the %.1fx floor",
+			rep.BackendRoundTripSpeedup, codecSpeedupFloor)
+	}
+	if rep.VerifyVsDecodeMax >= verifyRatioCeiling {
+		return fmt.Errorf("codec bench: verify-vs-decode ratio %.2f at or above %.1f — hashing a payload must be cheaper than decoding it",
+			rep.VerifyVsDecodeMax, verifyRatioCeiling)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, run := range rep.Runs {
+		fmt.Printf("codec bench %s: wire %d B enc %.0fµs dec %.0fµs | gob %d B enc %.0fµs dec %.0fµs | %.1fx round trip, verify/decode %.3f\n",
+			run.Kind, run.WireBytes, float64(run.WireEncodeNs)/1e3, float64(run.WireDecodeNs)/1e3,
+			run.GobBytes, float64(run.GobEncodeNs)/1e3, float64(run.GobDecodeNs)/1e3,
+			run.RoundTripSpeedup, run.VerifyVsDecode)
+	}
+	fmt.Printf("wrote %s: backend round trip %.1fx (floor %.1fx), worst verify/decode %.3f (ceiling %.1f)\n",
+		path, rep.BackendRoundTripSpeedup, codecSpeedupFloor, rep.VerifyVsDecodeMax, verifyRatioCeiling)
+	return nil
+}

@@ -34,6 +34,16 @@
 //
 //	explore -bench-json BENCH_explore.json [-workers 8] [-sizes 4,8]
 //
+// The -codec-bench-json mode measures the artifact wire codecs against
+// the retired gob baseline (encode/decode ns, allocations, and the
+// verify-vs-decode ratio of streaming-hash revival), asserts the
+// regression floors in-binary, and writes the results as JSON:
+//
+//	explore -codec-bench-json BENCH_codec.json
+//
+// The local -sweep and -search modes accept -cpuprofile/-memprofile for
+// pprof capture; profile remote runs with sparkd -pprof instead.
+//
 // Usage:
 //
 //	explore [-n 16] [-csv] [E1 E2 ... A E15 E16]
@@ -71,6 +81,7 @@ func main() {
 	srcFiles := flag.String("src", "", "comma-separated source files to sweep instead of the ILD generator")
 	benchJSON := flag.String("bench-json", "", "write cold/warm/disk-warm sweep benchmark results to this JSON file and exit")
 	simBenchJSON := flag.String("sim-bench-json", "", "write scalar-vs-batched simulator benchmark results to this JSON file and exit")
+	codecBenchJSON := flag.String("codec-bench-json", "", "write wire-vs-gob artifact codec benchmark results to this JSON file and exit")
 	search := flag.Bool("search", false, "run an adaptive design-space search instead of an exhaustive sweep")
 	strategy := flag.String("strategy", "hill", "search strategy: hill (steepest-ascent + restarts), genetic, or anneal (simulated annealing)")
 	objective := flag.String("objective", "weighted", "search objective: latency, area, or weighted")
@@ -79,6 +90,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "search RNG seed (same seed, same trajectory)")
 	searchJSON := flag.String("search-json", "", "write the search summary to this JSON file (with -search)")
 	remote := flag.String("remote", "", "ship -sweep/-search jobs to a sparkd daemon at this address instead of running locally")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the -sweep/-search run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the -sweep/-search run to this file")
 	flag.Parse()
 
 	printTable := func(t *report.Table) {
@@ -117,6 +130,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Profiling captures this process, so it pairs with the local sweep
+	// and search modes only: under -remote the work runs in the daemon
+	// (profile that with sparkd -pprof), and the experiment tables have
+	// no profiling story worth a flag.
+	if *cpuProfile != "" || *memProfile != "" {
+		if !*sweep && !*search {
+			fmt.Fprintln(os.Stderr, "-cpuprofile/-memprofile require -sweep or -search")
+			os.Exit(1)
+		}
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "-cpuprofile/-memprofile profile this process; with -remote the work runs in sparkd (use its -pprof listener)")
+			os.Exit(1)
+		}
+	}
+
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *sizes, *workers, *sim); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json FAILED: %v\n", err)
@@ -133,6 +161,14 @@ func main() {
 		return
 	}
 
+	if *codecBenchJSON != "" {
+		if err := runCodecBenchJSON(*codecBenchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "codec-bench-json FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Ctrl-C (and SIGTERM) cancel in-flight sweeps and searches at the
 	// next evaluation-batch boundary instead of running to completion;
 	// a second signal kills the process the default way.
@@ -144,10 +180,18 @@ func main() {
 		if *remote != "" {
 			err = runRemoteSearch(ctx, *remote, *strategy, *objective, *n, *budget, *deadline, *seed, printTable)
 		} else {
+			stopProf, perr := startProfiles(*cpuProfile, *memProfile)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "search FAILED: %v\n", perr)
+				os.Exit(1)
+			}
 			err = runSearch(ctx, *strategy, *objective, *n, *budget, *deadline, *seed,
 				*workers, *sim, *cacheDir, *searchJSON, printTable)
 			if err == nil {
 				err = runCacheGC(*cacheDir, *cacheMaxBytes)
+			}
+			if perr := stopProf(); perr != nil && err == nil {
+				err = perr
 			}
 		}
 		if err != nil {
@@ -162,9 +206,17 @@ func main() {
 		if *remote != "" {
 			err = runRemoteSweep(ctx, *remote, *sizes, *srcFiles, *deadline, printTable)
 		} else {
+			stopProf, perr := startProfiles(*cpuProfile, *memProfile)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "sweep FAILED: %v\n", perr)
+				os.Exit(1)
+			}
 			err = runSweepLocal(ctx, *sizes, *srcFiles, *cacheDir, *workers, *sim, *deadline, printTable)
 			if err == nil {
 				err = runCacheGC(*cacheDir, *cacheMaxBytes)
+			}
+			if perr := stopProf(); perr != nil && err == nil {
+				err = perr
 			}
 		}
 		if err != nil {

@@ -6,14 +6,16 @@
 //
 //	sparkd [-addr :8341] [-workers 0] [-sim 1]
 //	       [-cache-dir .sparkd-cache] [-cache-max-bytes 0]
-//	       [-addr-file path] [-drain-timeout 30s]
+//	       [-addr-file path] [-drain-timeout 30s] [-pprof localhost:6060]
 //
 // -workers bounds concurrent jobs (0 = one per CPU); each job's sweeps
 // additionally parallelize over the engine's own pool. -cache-dir
 // persists stage artifacts across restarts; -cache-max-bytes keeps the
 // directory under a byte budget (GC runs after jobs finish, oldest
 // artifacts first). -addr-file writes the bound address — useful with
-// -addr 127.0.0.1:0 when scripts need the kernel-chosen port.
+// -addr 127.0.0.1:0 when scripts need the kernel-chosen port. -pprof
+// serves net/http/pprof on a separate opt-in listener (its own mux, so
+// the job API never grows debug routes).
 //
 // SIGINT/SIGTERM drain gracefully: intake stops (submits answer 503),
 // accepted jobs finish, and only then does the process exit;
@@ -37,6 +39,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,7 +59,17 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "disk-backed exploration cache directory shared by every job")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "garbage-collect the cache directory down to this many bytes after jobs (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown before cancelling them")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (opt-in debug listener, e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		stop, err := servePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparkd: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 
 	if err := run(*addr, *addrFile, *workers, *engineWorkers, *sim, *cacheDir, *cacheMaxBytes, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "sparkd: %v\n", err)
@@ -111,6 +124,26 @@ func run(addr, addrFile string, workers, engineWorkers, sim int, cacheDir string
 	}
 	fmt.Println("sparkd: stopped")
 	return nil
+}
+
+// servePprof exposes the runtime profiling endpoints on a dedicated
+// listener with its own mux, so the job API's handler never grows
+// debug routes and the debug surface binds only where asked (keep it
+// on localhost). The returned closer shuts the listener.
+func servePprof(addr string) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("sparkd pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }() // lives until the closer runs or the process exits
+	return func() { ln.Close() }, nil
 }
 
 // effectiveWorkers mirrors the engine's 0-means-GOMAXPROCS convention

@@ -1,4 +1,4 @@
-// Package cache is a versioned, gob-encoded artifact store on disk: the
+// Package cache is a versioned binary artifact store on disk: the
 // persistence layer under the exploration engine's memoization. Artifacts
 // are addressed by (kind, key) where the key is any stable identifier —
 // in practice the stage keys of internal/core, which already hash the
@@ -6,14 +6,18 @@
 //
 // On-disk layout:
 //
-//	<root>/<schema-version>/<kind>/<kk>/<sha256(key)>.gob
+//	<root>/<schema-version>/<kind>/<kk>/<sha256(key)>.art
 //
 // where <kk> is the first two hex digits of the hashed key (a fan-out
-// shard so directories stay small under large sweeps). Every file starts
-// with a gob-encoded header {Format, Version, Kind, Key}; Get verifies
-// all four before decoding the payload, so a format bump, a schema
-// version bump, or a (vanishingly unlikely) filename-hash collision all
-// read as a clean miss, never as a stale or aliased artifact.
+// shard so directories stay small under large sweeps). Every file is a
+// small wire-framed header — format tag, schema version, kind, key, and
+// the SHA-256 of the payload — followed by the raw payload bytes. Get
+// verifies the header fields and streams the hash over the payload
+// before handing it back, so a format bump, a schema version bump, or a
+// (vanishingly unlikely) filename-hash collision all read as a clean
+// miss, while a corrupted payload reads as an error — never as a stale,
+// aliased, or silently damaged artifact. Verification costs one hash
+// pass over the stored bytes: no decode, no re-encode.
 //
 // Writes go through a temp file plus rename, so concurrent writers —
 // including separate processes sharing one cache directory — can race on
@@ -27,7 +31,6 @@ package cache
 
 import (
 	"crypto/sha256"
-	"encoding/gob"
 	"encoding/hex"
 	"fmt"
 	"io/fs"
@@ -36,20 +39,22 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"sparkgo/internal/wire"
 )
 
-// FormatVersion is the file-format version stamped into every artifact
-// header. Bump it when the header or framing changes; older files then
-// miss instead of mis-decoding.
-const FormatVersion = 1
+// FormatVersion is the file-format version carried in every artifact's
+// format tag. Bump it when the header or framing changes; older files
+// then miss instead of mis-decoding.
+const FormatVersion = 2
 
-// header precedes every payload on disk.
-type header struct {
-	Format  int
-	Version string
-	Kind    string
-	Key     string
-}
+// fileTag is the wire format tag at the head of every artifact file.
+var fileTag = fmt.Sprintf("artcache/%d", FormatVersion)
+
+// ext is the artifact file extension. GC deliberately does not key on
+// it — any regular file under the cache root except in-flight temp
+// files is subject to eviction and size accounting.
+const ext = ".art"
 
 // Store is a handle on one cache directory at one schema version. The
 // zero value is unusable; use Open.
@@ -83,61 +88,70 @@ func (s *Store) Root() string { return s.root }
 func (s *Store) path(kind, key string) string {
 	sum := sha256.Sum256([]byte(key))
 	name := hex.EncodeToString(sum[:])
-	return filepath.Join(s.root, sanitize(kind), name[:2], name+".gob")
+	return filepath.Join(s.root, sanitize(kind), name[:2], name+ext)
 }
 
-// Get decodes the artifact stored under (kind, key) into out, reporting
-// whether it was found. A missing file, a version or format mismatch, or
-// a key collision is a miss (false, nil); a present-but-undecodable file
-// is an error. A hit refreshes the file's mtime, so GC's oldest-first
+// Get returns the payload stored under (kind, key), reporting whether
+// it was found. A missing file, a version or format mismatch, or a key
+// collision is a miss (nil, false, nil); an unparseable header or a
+// payload whose streamed SHA-256 disagrees with the stored digest is an
+// error. A hit refreshes the file's mtime, so GC's oldest-first
 // eviction order tracks access recency, not just write order.
-func (s *Store) Get(kind, key string, out any) (bool, error) {
+func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 	path := s.path(kind, key)
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return false, nil
+			return nil, false, nil
 		}
-		return false, fmt.Errorf("cache: %w", err)
+		return nil, false, fmt.Errorf("cache: %w", err)
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
-	var h header
-	if err := dec.Decode(&h); err != nil {
-		return false, fmt.Errorf("cache: %s/%s: bad header: %w", kind, key, err)
+	d := wire.NewDecoder(data)
+	tag := d.String()
+	version := d.String()
+	k := d.String()
+	ky := d.String()
+	sum := d.Raw(sha256.Size)
+	payload := d.Bytes()
+	if err := d.Finish(); err != nil {
+		return nil, false, fmt.Errorf("cache: %s/%s: bad header: %w", kind, key, err)
 	}
-	if h.Format != FormatVersion || h.Version != s.version || h.Kind != kind || h.Key != key {
-		return false, nil
+	if tag != fileTag || version != s.version || k != kind || ky != key {
+		return nil, false, nil
 	}
-	if err := dec.Decode(out); err != nil {
-		return false, fmt.Errorf("cache: %s/%s: bad payload: %w", kind, key, err)
+	if got := sha256.Sum256(payload); string(got[:]) != string(sum) {
+		return nil, false, fmt.Errorf("cache: %s/%s: payload hash mismatch (corrupt artifact)", kind, key)
 	}
 	now := time.Now()
 	_ = os.Chtimes(path, now, now) // best-effort recency marker for GC
-	return true, nil
+	return payload, true, nil
 }
 
-// Put stores v under (kind, key), atomically replacing any previous
-// artifact.
-func (s *Store) Put(kind, key string, v any) error {
+// Put stores payload under (kind, key), atomically replacing any
+// previous artifact. The payload's SHA-256 is computed here and stored
+// in the header, so every later Get verifies integrity by hashing
+// alone.
+func (s *Store) Put(kind, key string, payload []byte) error {
 	path := s.path(kind, key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
+	sum := sha256.Sum256(payload)
+	e := wire.NewEncoder(64 + len(kind) + len(key) + len(payload))
+	e.Tag(fileTag)
+	e.String(s.version)
+	e.String(kind)
+	e.String(key)
+	e.Raw(sum[:])
+	e.Bytes(payload)
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(header{
-		Format: FormatVersion, Version: s.version, Kind: kind, Key: key,
-	}); err == nil {
-		err = enc.Encode(v)
-	}
-	if err != nil {
+	if _, err := tmp.Write(e.Data()); err != nil {
 		tmp.Close()
-		return fmt.Errorf("cache: %s/%s: encode: %w", kind, key, err)
+		return fmt.Errorf("cache: %s/%s: write: %w", kind, key, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("cache: %w", err)
@@ -152,7 +166,7 @@ func (s *Store) Put(kind, key string, v any) error {
 // kind (frontend, midend, backend, point) was scanned and evicted, so
 // eviction pressure is attributable to a cache layer instead of
 // disappearing into an aggregate. Files outside the store's
-// <schema>/<kind>/<hh>/<file>.gob layout report under kind "other".
+// <schema>/<kind>/<hh>/<file> layout report under kind "other".
 type KindGC struct {
 	Kind         string
 	ScannedFiles int
@@ -179,9 +193,12 @@ type GCStat struct {
 // the whole base directory — every schema version, not just this
 // store's — artifacts stranded under retired schema versions are
 // reclaimed first, which is exactly where a version bump leaves
-// garbage. Files a concurrent writer is still assembling (the temp
-// files Put renames from) are skipped; a file that vanishes mid-walk —
-// a concurrent GC or writer won the race — is skipped, not an error.
+// garbage. The walk is extension-agnostic: every regular file counts
+// toward the budget and is evictable, whatever its suffix — including
+// artifacts written by retired formats — except the temp files a
+// concurrent Put is still assembling (".tmp-" prefixed), which are
+// skipped. A file that vanishes mid-walk — a concurrent GC or writer
+// won the race — is skipped, not an error.
 func (s *Store) GC(maxBytes int64) (GCStat, error) {
 	if maxBytes < 0 {
 		return GCStat{}, fmt.Errorf("cache: negative GC budget %d", maxBytes)
@@ -196,8 +213,8 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 	var stat GCStat
 	perKind := map[string]*KindGC{}
 	kindOf := func(path string) string {
-		// Artifacts live at <base>/<schema>/<kind>/<hh>/<file>.gob; a
-		// .gob anywhere else is still evicted but reported as "other".
+		// Artifacts live at <base>/<schema>/<kind>/<hh>/<file>; a file
+		// anywhere else is still evicted but reported as "other".
 		rel, err := filepath.Rel(s.base, path)
 		if err != nil {
 			return "other"
@@ -223,7 +240,7 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 			}
 			return err
 		}
-		if d.IsDir() || filepath.Ext(path) != ".gob" {
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
 			return nil
 		}
 		info, err := d.Info()

@@ -1,11 +1,12 @@
 package cache_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
-	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -13,10 +14,9 @@ import (
 	"sparkgo/internal/cache"
 )
 
-type artifact struct {
-	Name   string
-	Values []int
-	Score  float64
+// payloadFor builds a distinguishable artifact payload for a key.
+func payloadFor(key string) []byte {
+	return append([]byte("payload:"+key+":"), bytes.Repeat([]byte{0xab}, 64)...)
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -24,17 +24,16 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := artifact{Name: "fe", Values: []int{1, 2, 3}, Score: 2.5}
+	want := payloadFor("key-1")
 	if err := s.Put("frontend", "key-1", want); err != nil {
 		t.Fatal(err)
 	}
-	var got artifact
-	ok, err := s.Get("frontend", "key-1", &got)
+	got, ok, err := s.Get("frontend", "key-1")
 	if err != nil || !ok {
 		t.Fatalf("Get = %v, %v; want hit", ok, err)
 	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("round trip: got %+v want %+v", got, want)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip: got %q want %q", got, want)
 	}
 }
 
@@ -43,8 +42,7 @@ func TestMissOnAbsentKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got artifact
-	ok, err := s.Get("frontend", "no-such-key", &got)
+	_, ok, err := s.Get("frontend", "no-such-key")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,22 +60,21 @@ func TestVersionedInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := v1.Put("point", "k", artifact{Name: "old"}); err != nil {
+	if err := v1.Put("point", "k", []byte("old")); err != nil {
 		t.Fatal(err)
 	}
 	v2, err := cache.Open(root, "v2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got artifact
-	if ok, err := v2.Get("point", "k", &got); err != nil || ok {
+	if _, ok, err := v2.Get("point", "k"); err != nil || ok {
 		t.Fatalf("v2 store sees v1 artifact: ok=%v err=%v", ok, err)
 	}
-	if err := v2.Put("point", "k", artifact{Name: "new"}); err != nil {
+	if err := v2.Put("point", "k", []byte("new")); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := v1.Get("point", "k", &got); err != nil || !ok || got.Name != "old" {
-		t.Fatalf("v1 artifact disturbed: ok=%v err=%v got=%+v", ok, err, got)
+	if got, ok, err := v1.Get("point", "k"); err != nil || !ok || string(got) != "old" {
+		t.Fatalf("v1 artifact disturbed: ok=%v err=%v got=%q", ok, err, got)
 	}
 }
 
@@ -88,13 +85,28 @@ func TestKindsAreDisjoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("frontend", "k", artifact{Name: "fe"}); err != nil {
+	if err := s.Put("frontend", "k", []byte("fe")); err != nil {
 		t.Fatal(err)
 	}
-	var got artifact
-	if ok, _ := s.Get("point", "k", &got); ok {
+	if _, ok, _ := s.Get("point", "k"); ok {
 		t.Fatal("kind 'point' served kind 'frontend' artifact")
 	}
+}
+
+// artifactFiles lists every non-temp regular file under root.
+func artifactFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && !strings.HasPrefix(filepath.Base(p), ".tmp-") {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
 }
 
 // TestHeaderMismatchIsMiss corrupts a stored artifact's location by
@@ -106,18 +118,12 @@ func TestHeaderMismatchIsMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("point", "a", artifact{Name: "a"}); err != nil {
+	if err := s.Put("point", "a", payloadFor("a")); err != nil {
 		t.Fatal(err)
 	}
 	// Find the stored file and copy it over where key "b" would live:
 	// a filename-hash collision in miniature.
-	var files []string
-	filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() {
-			files = append(files, p)
-		}
-		return nil
-	})
+	files := artifactFiles(t, root)
 	if len(files) != 1 {
 		t.Fatalf("expected 1 stored file, found %d", len(files))
 	}
@@ -125,27 +131,56 @@ func TestHeaderMismatchIsMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("point", "b", artifact{Name: "b"}); err != nil {
+	if err := s.Put("point", "b", payloadFor("b")); err != nil {
 		t.Fatal(err)
 	}
-	files = files[:0]
-	filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() {
-			files = append(files, p)
-		}
-		return nil
-	})
-	for _, f := range files {
+	for _, f := range artifactFiles(t, root) {
 		if err := os.WriteFile(f, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	var got artifact
-	if ok, err := s.Get("point", "b", &got); err != nil || ok {
-		t.Fatalf("aliased artifact served: ok=%v err=%v got=%+v", ok, err, got)
+	if got, ok, err := s.Get("point", "b"); err != nil || ok {
+		t.Fatalf("aliased artifact served: ok=%v err=%v got=%q", ok, err, got)
 	}
-	if ok, err := s.Get("point", "a", &got); err != nil || !ok || got.Name != "a" {
+	if got, ok, err := s.Get("point", "a"); err != nil || !ok || !bytes.Equal(got, payloadFor("a")) {
 		t.Fatalf("original artifact lost: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCorruptPayloadIsError pins the streaming-hash verification: a
+// payload whose bytes no longer match the digest written at Put time
+// must surface as an error — the caller counts it and recomputes — not
+// as a hit on damaged data and not as a silent miss.
+func TestCorruptPayloadIsError(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("midend", "k", payloadFor("k")); err != nil {
+		t.Fatal(err)
+	}
+	files := artifactFiles(t, root)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 stored file, found %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // flip a payload bit
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("midend", "k"); err == nil {
+		t.Fatalf("corrupt payload served: ok=%v", ok)
+	}
+	// Truncation mangles the framing itself: also an error, not a hit.
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("midend", "k"); err == nil {
+		t.Fatalf("truncated artifact served: ok=%v", ok)
 	}
 }
 
@@ -156,16 +191,17 @@ func age(t *testing.T, root string, d time.Duration) {
 	t.Helper()
 	var newest string
 	var newestTime time.Time
-	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() && filepath.Ext(p) == ".gob" {
-			if newest == "" || info.ModTime().After(newestTime) {
-				newest, newestTime = p, info.ModTime()
-			}
+	for _, p := range artifactFiles(t, root) {
+		info, err := os.Stat(p)
+		if err != nil {
+			continue
 		}
-		return nil
-	})
-	if err != nil || newest == "" {
-		t.Fatalf("artifact file not found: %v", err)
+		if newest == "" || info.ModTime().After(newestTime) {
+			newest, newestTime = p, info.ModTime()
+		}
+	}
+	if newest == "" {
+		t.Fatal("artifact file not found")
 	}
 	old := time.Now().Add(-d)
 	if err := os.Chtimes(newest, old, old); err != nil {
@@ -181,10 +217,9 @@ func TestGCEvictsOldestFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := artifact{Name: "x", Values: make([]int, 64)}
 	var size int64
 	for i, key := range []string{"old", "mid", "new"} {
-		if err := s.Put("point", key, payload); err != nil {
+		if err := s.Put("point", key, payloadFor("x")); err != nil {
 			t.Fatal(err)
 		}
 		age(t, root, time.Duration(3-i)*time.Hour)
@@ -203,12 +238,11 @@ func TestGCEvictsOldestFirst(t *testing.T) {
 	if st.ScannedFiles != 3 || st.RemovedFiles != 1 || st.RemainingBytes > 2*size {
 		t.Fatalf("GC stat: %+v (artifact size %d)", st, size)
 	}
-	var got artifact
-	if ok, _ := s.Get("point", "old", &got); ok {
+	if _, ok, _ := s.Get("point", "old"); ok {
 		t.Fatal("oldest artifact survived GC")
 	}
 	for _, key := range []string{"mid", "new"} {
-		if ok, err := s.Get("point", key, &got); err != nil || !ok {
+		if _, ok, err := s.Get("point", key); err != nil || !ok {
 			t.Fatalf("recent artifact %q evicted: ok=%v err=%v", key, ok, err)
 		}
 	}
@@ -222,7 +256,7 @@ func TestGCZeroBudgetEmpties(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"a", "b"} {
-		if err := s.Put("point", key, artifact{Name: key}); err != nil {
+		if err := s.Put("point", key, payloadFor(key)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -238,6 +272,64 @@ func TestGCZeroBudgetEmpties(t *testing.T) {
 	}
 }
 
+// TestGCIsExtensionAgnostic pins the regression where GC's walk only
+// saw one file extension: artifacts written by retired formats (".gob"
+// files, or any other suffix) share the cache directory and must count
+// toward the byte budget and be evictable, or a format migration leaves
+// unaccounted garbage that -cache-max-bytes never reclaims. Temp files
+// a concurrent Put is assembling stay exempt.
+func TestGCIsExtensionAgnostic(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", "live", payloadFor("live")); err != nil {
+		t.Fatal(err)
+	}
+	// A stale artifact from the retired gob format, and one with no
+	// extension at all — both must be scanned and evicted.
+	legacyDir := filepath.Join(s.Root(), "point", "ab")
+	if err := os.MkdirAll(legacyDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(legacyDir, strings.Repeat("ab", 32)+".gob")
+	if err := os.WriteFile(legacy, bytes.Repeat([]byte{1}, 128), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bare := filepath.Join(legacyDir, "stray")
+	if err := os.WriteFile(bare, bytes.Repeat([]byte{2}, 128), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An in-flight temp file must stay invisible to GC.
+	tmp := filepath.Join(legacyDir, ".tmp-12345")
+	if err := os.WriteFile(tmp, bytes.Repeat([]byte{3}, 128), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScannedFiles != 3 {
+		t.Fatalf("GC scanned %d files, want 3 (legacy extensions must be visible): %+v", st.ScannedFiles, st)
+	}
+	st, err = s.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemovedFiles != 3 || st.RemainingBytes != 0 {
+		t.Fatalf("GC(0) stat: %+v (legacy extensions must be evictable)", st)
+	}
+	for _, p := range []string{legacy, bare} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("legacy file %s survived GC(0)", filepath.Base(p))
+		}
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("in-flight temp file evicted: %v", err)
+	}
+}
+
 // TestGCReclaimsRetiredSchemas: artifacts stranded under an old schema
 // version share the base directory, so a GC through the current store
 // must see and reclaim them — that is where version bumps leave garbage.
@@ -247,7 +339,7 @@ func TestGCReclaimsRetiredSchemas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := old.Put("point", "stale", artifact{Name: "stale"}); err != nil {
+	if err := old.Put("point", "stale", payloadFor("stale")); err != nil {
 		t.Fatal(err)
 	}
 	age(t, root, time.Hour)
@@ -255,7 +347,7 @@ func TestGCReclaimsRetiredSchemas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cur.Put("point", "live", artifact{Name: "live"}); err != nil {
+	if err := cur.Put("point", "live", payloadFor("live")); err != nil {
 		t.Fatal(err)
 	}
 	probe, err := cur.GC(1 << 40)
@@ -272,11 +364,10 @@ func TestGCReclaimsRetiredSchemas(t *testing.T) {
 	if st.RemovedFiles != 1 {
 		t.Fatalf("GC stat: %+v", st)
 	}
-	var got artifact
-	if ok, _ := old.Get("point", "stale", &got); ok {
+	if _, ok, _ := old.Get("point", "stale"); ok {
 		t.Fatal("retired-schema artifact survived")
 	}
-	if ok, err := cur.Get("point", "live", &got); err != nil || !ok {
+	if _, ok, err := cur.Get("point", "live"); err != nil || !ok {
 		t.Fatalf("live artifact evicted: ok=%v err=%v", ok, err)
 	}
 }
@@ -289,17 +380,16 @@ func TestGetRefreshesRecency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("point", "hot", artifact{Name: "hot"}); err != nil {
+	if err := s.Put("point", "hot", payloadFor("hot")); err != nil {
 		t.Fatal(err)
 	}
 	age(t, root, 2*time.Hour)
-	if err := s.Put("point", "cold", artifact{Name: "cold"}); err != nil {
+	if err := s.Put("point", "cold", payloadFor("cold")); err != nil {
 		t.Fatal(err)
 	}
 	age(t, root, time.Hour)
 	// "hot" is older on disk, but a read refreshes it past "cold".
-	var got artifact
-	if ok, err := s.Get("point", "hot", &got); err != nil || !ok {
+	if _, ok, err := s.Get("point", "hot"); err != nil || !ok {
 		t.Fatal("hot artifact missing before GC")
 	}
 	probe, err := s.GC(1 << 40)
@@ -313,10 +403,10 @@ func TestGetRefreshesRecency(t *testing.T) {
 	if st.RemovedFiles != 1 {
 		t.Fatalf("GC stat: %+v", st)
 	}
-	if ok, _ := s.Get("point", "cold", &got); ok {
+	if _, ok, _ := s.Get("point", "cold"); ok {
 		t.Fatal("cold artifact survived over the recently read one")
 	}
-	if ok, err := s.Get("point", "hot", &got); err != nil || !ok {
+	if _, ok, err := s.Get("point", "hot"); err != nil || !ok {
 		t.Fatal("recently read artifact evicted")
 	}
 }
@@ -336,19 +426,18 @@ func TestConcurrentPutGet(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				k := keys[(w+i)%len(keys)]
-				want := artifact{Name: k, Values: []int{1, 2, 3}}
+				want := payloadFor(k)
 				if err := s.Put("point", k, want); err != nil {
 					t.Error(err)
 					return
 				}
-				var got artifact
-				ok, err := s.Get("point", k, &got)
+				got, ok, err := s.Get("point", k)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if ok && got.Name != k {
-					t.Errorf("key %s served %+v", k, got)
+				if ok && !bytes.Equal(got, want) {
+					t.Errorf("key %s served %q", k, got)
 					return
 				}
 			}
@@ -371,12 +460,9 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	const seeded = 16
-	payload := func(k string) artifact {
-		return artifact{Name: k, Values: []int{7, 8, 9}, Score: 0.5}
-	}
 	seedKey := func(i int) string { return fmt.Sprintf("seed-%02d", i) }
 	for i := 0; i < seeded; i++ {
-		if err := s.Put("point", seedKey(i), payload(seedKey(i))); err != nil {
+		if err := s.Put("point", seedKey(i), payloadFor(seedKey(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -388,7 +474,7 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	// Readers: Get must never error (a torn file would decode-fail) and
+	// Readers: Get must never error (a torn file would fail the hash) and
 	// a hit must carry exactly the payload written under the key.
 	for r := 0; r < 4; r++ {
 		wg.Add(1)
@@ -401,14 +487,13 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 				default:
 				}
 				k := seedKey((r*5 + i) % seeded)
-				var got artifact
-				ok, err := s.Get("point", k, &got)
+				got, ok, err := s.Get("point", k)
 				if err != nil {
 					t.Errorf("reader: Get(%s) during GC: %v", k, err)
 					return
 				}
-				if ok && got.Name != k {
-					t.Errorf("reader: Get(%s) served aliased payload %+v", k, got)
+				if ok && !bytes.Equal(got, payloadFor(k)) {
+					t.Errorf("reader: Get(%s) served aliased payload %q", k, got)
 					return
 				}
 			}
@@ -425,7 +510,7 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 			default:
 			}
 			k := fmt.Sprintf("fresh-%04d", i)
-			if err := s.Put("point", k, payload(k)); err != nil {
+			if err := s.Put("point", k, payloadFor(k)); err != nil {
 				t.Errorf("writer: Put(%s) during GC: %v", k, err)
 				return
 			}
@@ -460,14 +545,13 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < total; i++ {
-		if err := s.Put("point", key(i), payload(key(i))); err != nil {
+		if err := s.Put("point", key(i), payloadFor(key(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	age(t, root, time.Hour)
 	for i := total - keep; i < total; i++ {
-		var got artifact
-		if ok, err := s.Get("point", key(i), &got); err != nil || !ok {
+		if _, ok, err := s.Get("point", key(i)); err != nil || !ok {
 			t.Fatalf("touch %s: ok=%t err=%v", key(i), ok, err)
 		}
 	}
@@ -475,8 +559,7 @@ func TestGCConcurrentWithReadersAndWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < total; i++ {
-		var got artifact
-		ok, err := s.Get("point", key(i), &got)
+		_, ok, err := s.Get("point", key(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -496,11 +579,10 @@ func TestGCPerKindCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := artifact{Name: "x", Values: make([]int, 64)}
 	kinds := []string{"frontend", "midend", "backend", "point"}
 	for i, kind := range kinds {
 		for j := 0; j <= i; j++ { // 1 frontend, 2 midend, 3 backend, 4 point
-			if err := s.Put(kind, fmt.Sprintf("k%d", j), payload); err != nil {
+			if err := s.Put(kind, fmt.Sprintf("k%d", j), payloadFor("x")); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -555,12 +637,11 @@ func TestGCPartialEvictionPerKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := artifact{Name: "x", Values: make([]int, 64)}
-	if err := s.Put("midend", "old", payload); err != nil {
+	if err := s.Put("midend", "old", payloadFor("old")); err != nil {
 		t.Fatal(err)
 	}
 	age(t, root, time.Hour)
-	if err := s.Put("backend", "new", payload); err != nil {
+	if err := s.Put("backend", "new", payloadFor("new")); err != nil {
 		t.Fatal(err)
 	}
 	probe, err := s.GC(1 << 40)

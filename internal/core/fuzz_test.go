@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/htg"
+	"sparkgo/internal/ild"
+	"sparkgo/internal/ir"
+	"sparkgo/internal/rtl"
+	"sparkgo/internal/sched"
+)
+
+// Fuzz targets for every artifact decoder on the persistence path. The
+// contract under arbitrary input is uniform: return an error or a value
+// — never panic, never allocate proportionally to a forged length
+// prefix (the wire.Len guards bound every slice make by the bytes
+// actually present). Seeds are real artifacts from the staged flow —
+// the same designs the golden fingerprint file pins — plus adversarial
+// mutations of each: truncations, bit flips, and inflated length
+// prefixes.
+
+// fuzzArtifacts runs the staged flow once and returns the four layered
+// encodings: program, graph, schedule, netlist, and the backend shell.
+func fuzzArtifacts(f *testing.F) (progEnc, graphEnc, schedEnc, modEnc, shellEnc []byte) {
+	f.Helper()
+	prog := ild.Program(4)
+	opt := core.Options{Preset: core.MicroprocessorBlock}
+	fa, err := core.Frontend(prog, opt.FrontendOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	progEnc = fa.Materialize()
+	ma, err := core.Midend(fa, opt.MidendOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	schedEnc = ma.Materialize()
+	if graphEnc, err = htg.EncodeGraph(ma.Graph); err != nil {
+		f.Fatal(err)
+	}
+	ba, err := core.Backend(ma, opt.BackendOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	shellEnc = ba.Materialize()
+	if modEnc, err = rtl.EncodeModule(ba.Module); err != nil {
+		f.Fatal(err)
+	}
+	return progEnc, graphEnc, schedEnc, modEnc, shellEnc
+}
+
+// addSeeds registers an encoding and adversarial mutations of it:
+// truncations at several depths, a bit flip in each third, garbage
+// appended past the framing, and a length prefix inflated to claim far
+// more elements than the input could hold.
+func addSeeds(f *testing.F, seed []byte) {
+	f.Helper()
+	f.Add(seed)
+	for _, cut := range []int{1, 2, 3} {
+		if n := len(seed) * cut / 4; n > 0 {
+			f.Add(seed[:n])
+		}
+	}
+	for _, at := range []int{1, 2} {
+		if i := len(seed) * at / 3; i < len(seed) {
+			flip := append([]byte(nil), seed...)
+			flip[i] ^= 0x40
+			f.Add(flip)
+		}
+	}
+	f.Add(append(append([]byte(nil), seed...), 0xde, 0xad, 0xbe, 0xef))
+	f.Add(append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, seed...))
+}
+
+func FuzzDecodeProgram(f *testing.F) {
+	progEnc, _, _, _, _ := fuzzArtifacts(f)
+	addSeeds(f, progEnc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ir.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		if _, err := ir.EncodeProgram(p); err != nil {
+			t.Fatalf("decoded program does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeGraph(f *testing.F) {
+	_, graphEnc, _, _, _ := fuzzArtifacts(f)
+	addSeeds(f, graphEnc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := htg.DecodeGraph(data)
+		if err != nil {
+			return
+		}
+		if _, err := htg.EncodeGraph(g); err != nil {
+			t.Fatalf("decoded graph does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	_, _, schedEnc, _, _ := fuzzArtifacts(f)
+	addSeeds(f, schedEnc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := sched.DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if _, err := sched.EncodeResult(r); err != nil {
+			t.Fatalf("decoded schedule does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeModule(f *testing.F) {
+	_, _, _, modEnc, _ := fuzzArtifacts(f)
+	addSeeds(f, modEnc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := rtl.DecodeModule(data)
+		if err != nil {
+			return
+		}
+		if _, err := rtl.EncodeModule(m); err != nil {
+			t.Fatalf("decoded module does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeBackendArtifact(f *testing.F) {
+	_, _, _, _, shellEnc := fuzzArtifacts(f)
+	addSeeds(f, shellEnc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// DecodeBackendArtifact exercises both layers: the shell parse of
+		// ReviveBackendArtifact and the eager netlist decode behind Mod.
+		ba, err := core.DecodeBackendArtifact(data)
+		if err != nil {
+			return
+		}
+		if enc := ba.Materialize(); enc == nil {
+			t.Fatal("decoded backend artifact does not re-encode")
+		}
+	})
+}

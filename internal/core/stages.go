@@ -1,12 +1,11 @@
 package core
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"sparkgo/internal/delay"
 	"sparkgo/internal/dfa"
@@ -16,6 +15,7 @@ import (
 	"sparkgo/internal/rtl"
 	"sparkgo/internal/sched"
 	"sparkgo/internal/transform"
+	"sparkgo/internal/wire"
 )
 
 // Stage versions participate in every artifact key. Bump a version when
@@ -25,19 +25,26 @@ import (
 // then miss instead of serving stale results.
 const (
 	// FrontendVersion keys transformed-IR artifacts.
-	FrontendVersion = 1
+	//
+	// v2: programs are persisted in the deterministic binary wire format
+	// (internal/wire) instead of gob, so content fingerprints changed.
+	FrontendVersion = 2
 	// MidendVersion keys HTG/schedule artifacts.
 	//
 	// v2: midend artifacts are persisted losslessly (sched.EncodeResult)
 	// and carry a content fingerprint; v1 artifacts were in-memory only.
-	MidendVersion = 2
+	// v3: schedules are persisted in the deterministic binary wire
+	// format (internal/wire) instead of gob.
+	MidendVersion = 3
 	// BackendVersion keys netlist/stats artifacts.
 	//
 	// v2: backend artifacts are persisted losslessly (rtl.EncodeModule +
 	// report) and the stage keys on the midend artifact's *content*
 	// fingerprint instead of its stage key, so two option sets that
 	// converge on the same schedule share backend work.
-	BackendVersion = 2
+	// v3: netlists and the report shell are persisted in the
+	// deterministic binary wire format (internal/wire) instead of gob.
+	BackendVersion = 3
 )
 
 // FrontendOptions is the subset of Options the frontend stage reads: the
@@ -111,6 +118,45 @@ type FrontendArtifact struct {
 	Stages    []StageMetrics
 	PassStats []pass.Stat
 	Rounds    int
+
+	// progEnc holds the program's lossless encoding on artifacts revived
+	// from disk; Prog decodes it on first use. Computed artifacts carry
+	// the program directly and never pay a decode.
+	progEnc    []byte
+	decodeOnce sync.Once
+	decodeErr  error
+}
+
+// ReviveFrontendArtifact rebuilds a frontend artifact shell from a
+// persisted program encoding without decoding it: disk revival is
+// hash-verified by the cache layer, so the decode is deferred until a
+// caller actually needs the program (Prog). Metadata fields (Source,
+// Fingerprint, Rounds, ...) are the caller's to stamp from its own
+// persisted record.
+func ReviveFrontendArtifact(progEnc []byte) *FrontendArtifact {
+	return &FrontendArtifact{progEnc: progEnc}
+}
+
+// Prog returns the artifact's program, decoding the persisted encoding
+// on first call for revived artifacts. Computed artifacts return their
+// in-memory program unconditionally.
+func (fa *FrontendArtifact) Prog() (*ir.Program, error) {
+	if fa.Program != nil {
+		return fa.Program, nil
+	}
+	fa.decodeOnce.Do(func() {
+		if fa.progEnc == nil {
+			fa.decodeErr = fmt.Errorf("core: frontend artifact has no program encoding")
+			return
+		}
+		p, err := ir.DecodeProgram(fa.progEnc)
+		if err != nil {
+			fa.decodeErr = fmt.Errorf("core: revive frontend: %w", err)
+			return
+		}
+		fa.Program = p
+	})
+	return fa.Program, fa.decodeErr
 }
 
 // Materialize computes and stores the artifact's canonical Source and
@@ -255,6 +301,46 @@ type MidendArtifact struct {
 	// path never pays for it.
 	Fingerprint string
 	Key         string
+
+	// schedEnc holds the schedule's lossless encoding on artifacts
+	// revived from disk; Sched decodes it on first use.
+	schedEnc   []byte
+	decodeOnce sync.Once
+	decodeErr  error
+}
+
+// ReviveMidendArtifact rebuilds a midend artifact shell from a
+// persisted schedule encoding without decoding it: disk revival is
+// hash-verified by the cache layer, and cycles travels as metadata
+// alongside the payload, so downstream stage keys and sweep metrics
+// never force a decode. Sched materializes the full schedule on first
+// use.
+func ReviveMidendArtifact(schedEnc []byte, cycles int) *MidendArtifact {
+	return &MidendArtifact{schedEnc: schedEnc, Cycles: cycles}
+}
+
+// Sched returns the artifact's schedule, decoding the persisted
+// encoding on first call for revived artifacts (program and graph
+// fields are filled from the embedded encoding too). Computed artifacts
+// return their in-memory schedule unconditionally.
+func (ma *MidendArtifact) Sched() (*sched.Result, error) {
+	if ma.Schedule != nil {
+		return ma.Schedule, nil
+	}
+	ma.decodeOnce.Do(func() {
+		if ma.schedEnc == nil {
+			ma.decodeErr = fmt.Errorf("core: midend artifact has no schedule encoding")
+			return
+		}
+		res, err := sched.DecodeResult(ma.schedEnc)
+		if err != nil {
+			ma.decodeErr = fmt.Errorf("core: revive midend: %w", err)
+			return
+		}
+		ma.Program, ma.Graph, ma.Schedule = res.G.Prog, res.G, res
+		ma.Cycles = res.NumStates
+	})
+	return ma.Schedule, ma.decodeErr
 }
 
 // Materialize computes and stores the artifact's content Fingerprint,
@@ -306,7 +392,11 @@ func MidendContext(ctx context.Context, fa *FrontendArtifact, o MidendOptions) (
 // not mutate its input), lower to the HTG, and schedule under the
 // regime the options select.
 func Midend(fa *FrontendArtifact, o MidendOptions) (*MidendArtifact, error) {
-	return midend(ir.CloneProgram(fa.Program), fa, o)
+	prog, err := fa.Prog()
+	if err != nil {
+		return nil, err
+	}
+	return midend(ir.CloneProgram(prog), fa, o)
 }
 
 // midend is Midend on a program the caller owns outright. Synthesize
@@ -393,14 +483,18 @@ type BackendArtifact struct {
 	// runs.
 	Fingerprint string
 	Key         string
+
+	// modEnc holds the netlist's lossless encoding on artifacts revived
+	// from disk; Mod decodes it on first use. The report shell decodes
+	// eagerly at revival — it is a handful of flat fields.
+	modEnc     []byte
+	decodeOnce sync.Once
+	decodeErr  error
 }
 
-// backendCode is the wire form of a backend artifact: the netlist in
-// its lossless encoding plus the flat technology report.
-type backendCode struct {
-	Module []byte // rtl.EncodeModule
-	Stats  delay.Report
-}
+// backendTag versions the backend artifact wire shell: the flat
+// technology report followed by the netlist's lossless encoding.
+const backendTag = "backend/1"
 
 // Materialize computes and stores the artifact's content Fingerprint,
 // returning the lossless encoding it hashes (nil if the module failed
@@ -411,29 +505,75 @@ func (ba *BackendArtifact) Materialize() []byte {
 		ba.Fingerprint = ir.HashText("unencodable-backend|" + ba.Key)
 		return nil
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(backendCode{Module: mod, Stats: ba.Stats}); err != nil {
-		ba.Fingerprint = ir.HashText("unencodable-backend|" + ba.Key)
-		return nil
-	}
-	enc := buf.Bytes()
+	e := wire.NewEncoder(64 + len(mod))
+	e.Tag(backendTag)
+	e.Float64(ba.Stats.CriticalPath)
+	e.Float64(ba.Stats.Area)
+	e.Int(ba.Stats.Registers)
+	e.Int(ba.Stats.Muxes)
+	e.Int(ba.Stats.FUs)
+	e.Bytes(mod)
+	enc := e.Data()
 	ba.Fingerprint = ir.FingerprintBytes(enc)
 	return enc
 }
 
+// ReviveBackendArtifact rebuilds a backend artifact from its persisted
+// encoding without decoding the netlist: the report shell — the only
+// part sweep metrics read — is a few flat fields parsed here; the
+// module bytes stay encoded until Mod is called (which only the
+// simulation path does). Disk revival is hash-verified by the cache
+// layer, so no decode or re-encode happens on this path.
+func ReviveBackendArtifact(enc []byte) (*BackendArtifact, error) {
+	d := wire.NewDecoder(enc)
+	d.Tag(backendTag)
+	ba := &BackendArtifact{}
+	ba.Stats.CriticalPath = d.Float64()
+	ba.Stats.Area = d.Float64()
+	ba.Stats.Registers = d.Int()
+	ba.Stats.Muxes = d.Int()
+	ba.Stats.FUs = d.Int()
+	ba.modEnc = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("core: revive backend: %w", err)
+	}
+	return ba, nil
+}
+
+// Mod returns the artifact's netlist, decoding the persisted encoding
+// on first call for revived artifacts. Computed artifacts return their
+// in-memory module unconditionally.
+func (ba *BackendArtifact) Mod() (*rtl.Module, error) {
+	if ba.Module != nil {
+		return ba.Module, nil
+	}
+	ba.decodeOnce.Do(func() {
+		if ba.modEnc == nil {
+			ba.decodeErr = fmt.Errorf("core: backend artifact has no netlist encoding")
+			return
+		}
+		m, err := rtl.DecodeModule(ba.modEnc)
+		if err != nil {
+			ba.decodeErr = fmt.Errorf("core: revive backend: %w", err)
+			return
+		}
+		ba.Module = m
+	})
+	return ba.Module, ba.decodeErr
+}
+
 // DecodeBackendArtifact revives a backend artifact from its lossless
-// encoding. As with DecodeMidendArtifact, the caller verifies by
-// re-materializing and comparing fingerprints.
+// encoding, netlist included — the eager form of ReviveBackendArtifact
+// for callers that need the module immediately.
 func DecodeBackendArtifact(enc []byte) (*BackendArtifact, error) {
-	var bc backendCode
-	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(&bc); err != nil {
-		return nil, fmt.Errorf("core: revive backend: %w", err)
-	}
-	mod, err := rtl.DecodeModule(bc.Module)
+	ba, err := ReviveBackendArtifact(enc)
 	if err != nil {
-		return nil, fmt.Errorf("core: revive backend: %w", err)
+		return nil, err
 	}
-	return &BackendArtifact{Module: mod, Stats: bc.Stats}, nil
+	if _, err := ba.Mod(); err != nil {
+		return nil, err
+	}
+	return ba, nil
 }
 
 // BackendContext is Backend gated on a context (see FrontendContext for
@@ -447,7 +587,11 @@ func BackendContext(ctx context.Context, ma *MidendArtifact, o BackendOptions) (
 
 // Backend runs the binding/netlist stage on a scheduled design.
 func Backend(ma *MidendArtifact, o BackendOptions) (*BackendArtifact, error) {
-	m, err := rtl.Build(ma.Schedule)
+	s, err := ma.Sched()
+	if err != nil {
+		return nil, err
+	}
+	m, err := rtl.Build(s)
 	if err != nil {
 		return nil, fmt.Errorf("core: rtl: %w", err)
 	}

@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"testing"
+	"time"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/pass"
+)
+
+// Fuzz targets for the engine's blob decoders. Blob decoding is pure
+// parsing — integrity is the cache layer's streamed hash — so the only
+// contract under arbitrary input is the decoder family's usual one: an
+// error or a value, never a panic, allocation bounded by the bytes
+// present. Seeds are real encodings plus truncations, bit flips, and an
+// inflated length prefix.
+
+func addBlobSeeds(f *testing.F, seed []byte) {
+	f.Helper()
+	f.Add(seed)
+	if len(seed) > 4 {
+		f.Add(seed[:len(seed)/2])
+		flip := append([]byte(nil), seed...)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip)
+	}
+	f.Add(append(append([]byte(nil), seed...), 0xde, 0xad))
+	f.Add(append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, seed...))
+}
+
+func FuzzDecodeFrontendBlob(f *testing.F) {
+	blob := frontendBlob{
+		Program:     []byte("not-a-real-program-encoding"),
+		Source:      "ild:4",
+		Fingerprint: "fp",
+		Rounds:      2,
+		Stages: []core.StageMetrics{
+			{Pass: "cse", Changed: true, Stmts: 3, Ops: 7, Ifs: 1, Loops: 1, Calls: 0, Funcs: 2},
+		},
+		PassStats: []pass.Stat{{Name: "cse", Runs: 2, Changes: 1, Duration: time.Millisecond}},
+	}
+	addBlobSeeds(f, blob.encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeFrontendBlob(data)
+		if err != nil {
+			return
+		}
+		b.encode()
+	})
+}
+
+func FuzzDecodeMidendBlob(f *testing.F) {
+	blob := midendBlob{Schedule: []byte("schedule-bytes"), Fingerprint: "fp", Cycles: 9}
+	addBlobSeeds(f, blob.encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeMidendBlob(data)
+		if err != nil {
+			return
+		}
+		b.encode()
+	})
+}
+
+func FuzzDecodeBackendBlob(f *testing.F) {
+	blob := backendBlob{Artifact: []byte("artifact-bytes"), Fingerprint: "fp"}
+	addBlobSeeds(f, blob.encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeBackendBlob(data)
+		if err != nil {
+			return
+		}
+		b.encode()
+	})
+}
+
+func FuzzDecodePoint(f *testing.F) {
+	pt := Point{
+		Config: Config{
+			Source: "ild", N: 8, Preset: 1, NoUnroll: true,
+			MaxUnroll: 4, Passes: []string{"cse", "constprop"},
+			Rounds: 3, ReportNand: 1.5,
+		},
+		Cycles: 12, Latency: 14, CritPath: 3.25, Area: 100.5,
+		Muxes: 4, FUs: 3, Rounds: 3,
+	}
+	addBlobSeeds(f, encodePoint(&pt))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePoint(data)
+		if err != nil {
+			return
+		}
+		encodePoint(p)
+	})
+}

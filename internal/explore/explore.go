@@ -475,19 +475,22 @@ func (e *Engine) computePoint(ctx context.Context, c Config) Point {
 	pk := ""
 	if d != nil {
 		pk = e.pointDiskKey(c, src.fingerprint)
-		var pt Point
-		ok, err := d.Get(kindPoint, pk, &pt)
+		data, ok, err := d.Get(kindPoint, pk)
 		if err != nil {
 			e.diskErrors.Add(1)
-		} else if ok && pt.Err == "" {
-			e.pointDiskHits.Add(1)
-			return pt
+		} else if ok {
+			if pt, err := decodePoint(data); err != nil {
+				e.diskErrors.Add(1)
+			} else if pt.Err == "" {
+				e.pointDiskHits.Add(1)
+				return *pt
+			}
 		}
 	}
 	pt := e.synthesize(ctx, c, src)
 	e.pointComputed.Add(1)
 	if d != nil && pt.Err == "" {
-		if err := d.Put(kindPoint, pk, pt); err != nil {
+		if err := d.Put(kindPoint, pk, encodePoint(&pt)); err != nil {
 			e.diskErrors.Add(1)
 		}
 	}
@@ -533,7 +536,15 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 	pt.FUs = ba.Stats.FUs
 	pt.Rounds = fa.Rounds
 	if e.SimTrials > 0 {
-		lat, err := e.simulate(ctx, src, ba.Module, c)
+		// Mod materializes the netlist: computed artifacts hand it over
+		// directly, revived ones pay their one decode here — the only
+		// place a disk-warm sweep ever decodes a payload.
+		mod, err := ba.Mod()
+		if err != nil {
+			pt.Err = err.Error()
+			return pt
+		}
+		lat, err := e.simulate(ctx, src, mod, c)
 		if err != nil {
 			pt.Err = err.Error()
 			return pt

@@ -168,7 +168,7 @@ func corruptKind(t *testing.T, dir, kind string) int {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || filepath.Ext(path) != ".gob" {
+		if d.IsDir() || filepath.Ext(path) != ".art" {
 			return nil
 		}
 		if !strings.Contains(path, string(filepath.Separator)+kind+string(filepath.Separator)) {

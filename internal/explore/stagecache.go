@@ -27,7 +27,12 @@ import (
 // and points (full-flow artifact persistence), and the underlying IR
 // wire format renamed its type table, so v2 fingerprints no longer
 // reproduce.
-const SchemaVersion = 3
+//
+// v4: every blob and artifact payload moved from gob to the
+// deterministic binary wire format (internal/wire), the cache stores
+// raw hash-verified bytes, and revival stopped decoding payloads —
+// blob metadata (cycles, fingerprints) answers for them.
+const SchemaVersion = 4
 
 // Artifact kinds in the disk store.
 const (
@@ -257,15 +262,18 @@ type frontendBlob struct {
 }
 
 // loadFrontend fetches and revives a frontend artifact from disk,
-// returning nil on any miss, decode failure, or round-trip mismatch —
-// the caller then recomputes.
+// returning nil on any miss or parse failure — the caller then
+// recomputes. Integrity is verified by the cache layer's streaming hash
+// over the stored blob, so the program encoding is trusted as-is and
+// not decoded here: the artifact shell carries the fingerprint and
+// reporting metadata, and the program materializes lazily (Prog) only
+// if a downstream stage misses its own caches.
 func (e *Engine) loadFrontend(key string) *core.FrontendArtifact {
 	d := e.diskStore()
 	if d == nil {
 		return nil
 	}
-	var blob frontendBlob
-	ok, err := d.Get(kindFrontend, key, &blob)
+	data, ok, err := d.Get(kindFrontend, key)
 	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
@@ -273,27 +281,19 @@ func (e *Engine) loadFrontend(key string) *core.FrontendArtifact {
 	if !ok {
 		return nil
 	}
-	prog, err := ir.DecodeProgram(blob.Program)
+	blob, err := decodeFrontendBlob(data)
 	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
 	}
-	// The fingerprint hashes the lossless encoding; if the revived
-	// program re-encodes differently the artifact did not round-trip
-	// faithfully, and recomputing is the only safe answer.
-	if ir.Fingerprint(prog) != blob.Fingerprint {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	return &core.FrontendArtifact{
-		Program:     prog,
-		Source:      blob.Source,
-		Fingerprint: blob.Fingerprint,
-		Key:         key,
-		Stages:      blob.Stages,
-		PassStats:   blob.PassStats,
-		Rounds:      blob.Rounds,
-	}
+	fa := core.ReviveFrontendArtifact(blob.Program)
+	fa.Source = blob.Source
+	fa.Fingerprint = blob.Fingerprint
+	fa.Key = key
+	fa.Stages = blob.Stages
+	fa.PassStats = blob.PassStats
+	fa.Rounds = blob.Rounds
+	return fa
 }
 
 // storeFrontend persists a materialized frontend artifact, reusing the
@@ -316,7 +316,7 @@ func (e *Engine) storeFrontend(key string, fa *core.FrontendArtifact, enc []byte
 		PassStats:   fa.PassStats,
 		Rounds:      fa.Rounds,
 	}
-	if err := d.Put(kindFrontend, key, blob); err != nil {
+	if err := d.Put(kindFrontend, key, blob.encode()); err != nil {
 		e.diskErrors.Add(1)
 	}
 }
@@ -379,24 +379,28 @@ func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.M
 
 // midendBlob is the disk form of a midend artifact: the schedule in its
 // lossless encoding (sched.EncodeResult embeds the graph and program),
-// plus the content fingerprint the revival is verified against. Cycles
-// is not persisted — DecodeMidendArtifact re-derives it from the
-// schedule's state count.
+// the content fingerprint downstream stage keys chain on, and the cycle
+// count — the one schedule metric sweep points read — so a revived
+// artifact answers every cache-warm question without decoding the
+// schedule.
 type midendBlob struct {
 	Schedule    []byte // sched.EncodeResult of the artifact's schedule
 	Fingerprint string
+	Cycles      int
 }
 
 // loadMidend fetches and revives a midend artifact from disk, returning
-// nil on any miss, decode failure, or round-trip mismatch — the caller
-// then recomputes.
+// nil on any miss or parse failure — the caller then recomputes. The
+// cache layer's streaming hash covered the whole blob, fingerprint and
+// schedule bytes alike, so revival is a header parse: no schedule
+// decode, no re-encode. The schedule materializes lazily (Sched) only
+// when the backend stage misses its own caches.
 func (e *Engine) loadMidend(key string) *core.MidendArtifact {
 	d := e.diskStore()
 	if d == nil {
 		return nil
 	}
-	var blob midendBlob
-	ok, err := d.Get(kindMidend, key, &blob)
+	data, ok, err := d.Get(kindMidend, key)
 	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
@@ -404,19 +408,14 @@ func (e *Engine) loadMidend(key string) *core.MidendArtifact {
 	if !ok {
 		return nil
 	}
-	ma, err := core.DecodeMidendArtifact(blob.Schedule)
+	blob, err := decodeMidendBlob(data)
 	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
 	}
-	// The fingerprint hashes the lossless encoding; re-materializing the
-	// revived artifact must reproduce it bit for bit, or the round trip
-	// was not faithful and recomputing is the only safe answer.
+	ma := core.ReviveMidendArtifact(blob.Schedule, blob.Cycles)
+	ma.Fingerprint = blob.Fingerprint
 	ma.Key = key
-	if ma.Materialize(); ma.Fingerprint != blob.Fingerprint {
-		e.diskErrors.Add(1)
-		return nil
-	}
 	return ma
 }
 
@@ -431,8 +430,8 @@ func (e *Engine) storeMidend(key string, ma *core.MidendArtifact, enc []byte) {
 		e.diskErrors.Add(1)
 		return
 	}
-	blob := midendBlob{Schedule: enc, Fingerprint: ma.Fingerprint}
-	if err := d.Put(kindMidend, key, blob); err != nil {
+	blob := midendBlob{Schedule: enc, Fingerprint: ma.Fingerprint, Cycles: ma.Cycles}
+	if err := d.Put(kindMidend, key, blob.encode()); err != nil {
 		e.diskErrors.Add(1)
 	}
 }
@@ -501,14 +500,17 @@ type backendBlob struct {
 }
 
 // loadBackend fetches and revives a backend artifact from disk,
-// returning nil on any miss, decode failure, or round-trip mismatch.
+// returning nil on any miss or parse failure. Revival parses the
+// artifact's report shell — a handful of flat fields — and leaves the
+// netlist encoded; only the simulation path pays the module decode
+// (Mod), and only when SimTrials asks for it. Integrity is the cache
+// layer's streaming hash, as with every other kind.
 func (e *Engine) loadBackend(key string) *core.BackendArtifact {
 	d := e.diskStore()
 	if d == nil {
 		return nil
 	}
-	var blob backendBlob
-	ok, err := d.Get(kindBackend, key, &blob)
+	data, ok, err := d.Get(kindBackend, key)
 	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
@@ -516,16 +518,18 @@ func (e *Engine) loadBackend(key string) *core.BackendArtifact {
 	if !ok {
 		return nil
 	}
-	ba, err := core.DecodeBackendArtifact(blob.Artifact)
+	blob, err := decodeBackendBlob(data)
 	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
 	}
-	ba.Key = key
-	if ba.Materialize(); ba.Fingerprint != blob.Fingerprint {
+	ba, err := core.ReviveBackendArtifact(blob.Artifact)
+	if err != nil {
 		e.diskErrors.Add(1)
 		return nil
 	}
+	ba.Fingerprint = blob.Fingerprint
+	ba.Key = key
 	return ba
 }
 
@@ -541,7 +545,7 @@ func (e *Engine) storeBackend(key string, ba *core.BackendArtifact, enc []byte) 
 		return
 	}
 	blob := backendBlob{Artifact: enc, Fingerprint: ba.Fingerprint}
-	if err := d.Put(kindBackend, key, blob); err != nil {
+	if err := d.Put(kindBackend, key, blob.encode()); err != nil {
 		e.diskErrors.Add(1)
 	}
 }

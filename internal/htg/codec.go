@@ -1,8 +1,6 @@
 package htg
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"sparkgo/internal/ir"
@@ -22,9 +20,10 @@ import (
 // which is what lets revived artifacts be fingerprint-verified by
 // re-encoding.
 //
-// Every wire struct is map-free so gob output is deterministic — maps
-// would encode in random iteration order and break both fingerprinting
-// and the byte-equality round-trip contract.
+// Every wire struct is map-free and serialized field-by-field in a
+// fixed order (wirecodec.go), so identical graphs encode to identical
+// bytes; the retired gob framing lives in gobcodec.go as the benchmark
+// baseline.
 
 // VarTable returns the graph's variable reference table — the program's
 // globals first, then the graph function's locals — the shared indexing
@@ -230,10 +229,23 @@ func (en *graphEncoder) seq(s *Seq) ([]nodeCode, error) {
 
 // EncodeGraph serializes a graph losslessly into a self-contained byte
 // string: the embedded program (ir.EncodeProgram), the block/op lists,
-// and the node tree, with every pointer flattened to a table index. The
+// and the node tree, with every pointer flattened to a table index and
+// framed by the deterministic binary codec of internal/wire. The
 // inverse is DecodeGraph.
 func EncodeGraph(g *Graph) ([]byte, error) {
-	prog, err := ir.EncodeProgram(g.Prog)
+	gc, err := flattenGraph(g, ir.EncodeProgram)
+	if err != nil {
+		return nil, err
+	}
+	return encodeGraphWire(gc), nil
+}
+
+// flattenGraph lowers the graph's pointer web onto the intermediate
+// wire structs; both framings (binary and the gob baseline) serialize
+// this form. encodeProg serializes the embedded program — the framing's
+// own program codec, so a graph encoding never mixes framings.
+func flattenGraph(g *Graph, encodeProg func(*ir.Program) ([]byte, error)) (*graphCode, error) {
+	prog, err := encodeProg(g.Prog)
 	if err != nil {
 		return nil, fmt.Errorf("htg: encode program: %w", err)
 	}
@@ -278,11 +290,7 @@ func EncodeGraph(g *Graph) ([]byte, error) {
 	if gc.Root, err = en.seq(g.Root); err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(gc); err != nil {
-		return nil, fmt.Errorf("htg: encode: %w", err)
-	}
-	return buf.Bytes(), nil
+	return &gc, nil
 }
 
 // graphDecoder rebuilds the pointer web from table indices.
@@ -417,11 +425,18 @@ func (de *graphDecoder) seq(cs []nodeCode) (*Seq, error) {
 // reference is resolved against it, so the result shares nothing with
 // any other graph.
 func DecodeGraph(data []byte) (*Graph, error) {
-	var gc graphCode
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&gc); err != nil {
+	gc, err := decodeGraphWire(data)
+	if err != nil {
 		return nil, fmt.Errorf("htg: decode: %w", err)
 	}
-	prog, err := ir.DecodeProgram(gc.Program)
+	return rebuildGraph(gc, ir.DecodeProgram)
+}
+
+// rebuildGraph resolves the flattened form back into a pointer web over
+// a freshly decoded program; decodeProg matches the framing's program
+// codec.
+func rebuildGraph(gc *graphCode, decodeProg func([]byte) (*ir.Program, error)) (*Graph, error) {
+	prog, err := decodeProg(gc.Program)
 	if err != nil {
 		return nil, fmt.Errorf("htg: decode: %w", err)
 	}

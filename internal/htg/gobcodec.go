@@ -1,0 +1,36 @@
+package htg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"sparkgo/internal/ir"
+)
+
+// The gob framing EncodeGraph used before the deterministic wire format
+// (internal/wire) replaced it on the artifact hot path. Retained as the
+// benchmark baseline; delete once the codec-speed ratchet lands in CI.
+
+// EncodeGraphGob serializes g with the retired gob framing — the
+// embedded program travels gob-framed too, so the framings never mix.
+func EncodeGraphGob(g *Graph) ([]byte, error) {
+	gc, err := flattenGraph(g, ir.EncodeProgramGob)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gc); err != nil {
+		return nil, fmt.Errorf("htg: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGraphGob reconstructs a graph serialized by EncodeGraphGob.
+func DecodeGraphGob(data []byte) (*Graph, error) {
+	var gc graphCode
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&gc); err != nil {
+		return nil, fmt.Errorf("htg: decode: %w", err)
+	}
+	return rebuildGraph(&gc, ir.DecodeProgramGob)
+}

@@ -1,0 +1,195 @@
+package htg
+
+import (
+	"fmt"
+
+	"sparkgo/internal/ir"
+	"sparkgo/internal/wire"
+)
+
+// The binary wire framing of the flattened graph form (see codec.go for
+// the flattening): fixed field order, varint lengths, the node tree as
+// a recursive tagged union that writes its kind first. Identical graphs
+// encode to identical bytes.
+
+// graphTag versions the HTG wire layout.
+const graphTag = "htg/1"
+
+func putOperand(e *wire.Encoder, c operandCode) {
+	e.Bool(c.IsConst)
+	e.Int64(c.Const)
+	e.Int(c.Var)
+	ir.PutType(e, c.Typ)
+}
+
+func getOperand(d *wire.Decoder) operandCode {
+	return operandCode{
+		IsConst: d.Bool(),
+		Const:   d.Int64(),
+		Var:     d.Int(),
+		Typ:     ir.GetType(d),
+	}
+}
+
+func putOp(e *wire.Encoder, c *opCode) {
+	e.Int(c.ID)
+	e.Int(c.Kind)
+	e.Int(c.Bin)
+	e.Int(c.Un)
+	e.Int(c.Dst)
+	e.Int(c.Arr)
+	e.Bool(c.UnsignedOps)
+	e.Uvarint(uint64(len(c.Args)))
+	for _, a := range c.Args {
+		putOperand(e, a)
+	}
+}
+
+func getOp(d *wire.Decoder) opCode {
+	c := opCode{
+		ID:          d.Int(),
+		Kind:        d.Int(),
+		Bin:         d.Int(),
+		Un:          d.Int(),
+		Dst:         d.Int(),
+		Arr:         d.Int(),
+		UnsignedOps: d.Bool(),
+	}
+	if n := d.Len(4); n > 0 { // an operand is >= 4 bytes
+		c.Args = make([]operandCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			c.Args = append(c.Args, getOperand(d))
+		}
+	}
+	return c
+}
+
+func putNode(e *wire.Encoder, c *nodeCode) {
+	e.Int(c.Kind)
+	switch c.Kind {
+	case nodeSeq:
+		putNodes(e, c.Nodes)
+	case nodeBB:
+		e.Int(c.BB)
+	case nodeIf:
+		e.Int(c.Cond)
+		putNodes(e, c.Then)
+		e.Bool(c.HasElse)
+		if c.HasElse {
+			putNodes(e, c.Else)
+		}
+	case nodeLoop:
+		e.String(c.Label)
+		e.Int(c.Cond)
+		e.Int(c.InitBB)
+		e.Int(c.CondBB)
+		putNodes(e, c.Body)
+	}
+}
+
+func getNode(d *wire.Decoder) nodeCode {
+	c := nodeCode{Kind: d.Int()}
+	switch c.Kind {
+	case nodeSeq:
+		c.Nodes = getNodes(d)
+	case nodeBB:
+		c.BB = d.Int()
+	case nodeIf:
+		c.Cond = d.Int()
+		c.Then = getNodes(d)
+		c.HasElse = d.Bool()
+		if c.HasElse {
+			c.Else = getNodes(d)
+		}
+	case nodeLoop:
+		c.Label = d.String()
+		c.Cond = d.Int()
+		c.InitBB = d.Int()
+		c.CondBB = d.Int()
+		c.Body = getNodes(d)
+	}
+	return c
+}
+
+func putNodes(e *wire.Encoder, cs []nodeCode) {
+	e.Uvarint(uint64(len(cs)))
+	for i := range cs {
+		putNode(e, &cs[i])
+	}
+}
+
+func getNodes(d *wire.Decoder) []nodeCode {
+	n := d.Len(2) // a node is >= 2 bytes (kind + one field)
+	if n == 0 {
+		return nil
+	}
+	out := make([]nodeCode, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, getNode(d))
+	}
+	return out
+}
+
+// encodeGraphWire frames the flattened graph in the deterministic
+// binary layout.
+func encodeGraphWire(gc *graphCode) []byte {
+	e := wire.NewEncoder(256 + len(gc.Program))
+	e.Tag(graphTag)
+	e.Bytes(gc.Program)
+	e.Int(gc.Fn)
+	e.Int(gc.RetVar)
+	e.Int(gc.NextOp)
+	e.Uvarint(uint64(len(gc.Blocks)))
+	for i := range gc.Blocks {
+		bc := &gc.Blocks[i]
+		e.Int(bc.ID)
+		e.Uvarint(uint64(len(bc.Guard)))
+		for _, gt := range bc.Guard {
+			e.Int(gt.Cond)
+			e.Bool(gt.Value)
+		}
+		e.Uvarint(uint64(len(bc.Ops)))
+		for j := range bc.Ops {
+			putOp(e, &bc.Ops[j])
+		}
+	}
+	putNodes(e, gc.Root)
+	return e.Data()
+}
+
+// decodeGraphWire parses the binary layout back into the flattened
+// form, rejecting truncation, trailing bytes, and inflated lengths.
+func decodeGraphWire(data []byte) (*graphCode, error) {
+	d := wire.NewDecoder(data)
+	d.Tag(graphTag)
+	gc := &graphCode{
+		Program: d.Bytes(),
+		Fn:      d.Int(),
+		RetVar:  d.Int(),
+		NextOp:  d.Int(),
+	}
+	if n := d.Len(3); n > 0 { // a block is >= 3 bytes (id + two counts)
+		gc.Blocks = make([]blockCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			bc := blockCode{ID: d.Int()}
+			if gn := d.Len(2); gn > 0 { // a guard term is >= 2 bytes
+				bc.Guard = make([]guardCode, 0, gn)
+				for j := 0; j < gn && d.Err() == nil; j++ {
+					bc.Guard = append(bc.Guard, guardCode{Cond: d.Int(), Value: d.Bool()})
+				}
+			}
+			if on := d.Len(8); on > 0 { // an op is >= 8 bytes
+				bc.Ops = make([]opCode, 0, on)
+				for j := 0; j < on && d.Err() == nil; j++ {
+					bc.Ops = append(bc.Ops, getOp(d))
+				}
+			}
+			gc.Blocks = append(gc.Blocks, bc)
+		}
+	}
+	gc.Root = getNodes(d)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return gc, nil
+}

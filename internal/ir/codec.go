@@ -1,10 +1,19 @@
 package ir
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 )
+
+// progDecodes counts DecodeProgram calls process-wide. The disk-revival
+// fast path is contractually decode-free (verification is a streaming
+// hash over the stored bytes); tests pin that contract by watching this
+// counter stay flat across disk-warm sweeps.
+var progDecodes atomic.Int64
+
+// ProgramDecodeCount reports the number of DecodeProgram calls made by
+// this process so far.
+func ProgramDecodeCount() int64 { return progDecodes.Load() }
 
 // This file is the lossless serialization of IR programs, used by the
 // disk-backed artifact caches. The surface syntax (Print/Parse) is NOT
@@ -18,6 +27,12 @@ import (
 // Variables are encoded by reference into a per-program table (globals
 // first, then each function's locals), mirroring how CloneProgram
 // resolves identity; call targets are encoded as function indices.
+//
+// The program is flattened into the enc* intermediate structs below and
+// framed by the deterministic binary codec of internal/wire (see
+// wirecodec.go); the retired gob framing of the same structs survives
+// as EncodeProgramGob/DecodeProgramGob (gobcodec.go), the benchmark
+// baseline until the codec-speed ratchet lands.
 
 // TypeCode is the flattened wire form of *Type, exported so the codecs
 // of the downstream stage artifacts (internal/htg, internal/sched,
@@ -373,8 +388,20 @@ func encodeVar(v *Var) encVar {
 }
 
 // EncodeProgram serializes p losslessly into a self-contained byte
-// string (gob framing). The inverse is DecodeProgram.
+// string (deterministic wire framing). The inverse is DecodeProgram.
 func EncodeProgram(p *Program) ([]byte, error) {
+	ep, err := flattenProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	return encodeProgramWire(ep), nil
+}
+
+// flattenProgram lowers the pointer-webbed program onto the enc*
+// intermediate structs: variables become table indices, call targets
+// function indices. Both wire framings (binary and the gob baseline)
+// serialize this form.
+func flattenProgram(p *Program) (*encProgram, error) {
 	ep := encProgram{Name: p.Name}
 	en := &encoder{funcIndex: map[*Func]int{}}
 	for i, f := range p.Funcs {
@@ -402,11 +429,7 @@ func EncodeProgram(p *Program) ([]byte, error) {
 		ef.Body = body
 		ep.Funcs = append(ep.Funcs, ef)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(ep); err != nil {
-		return nil, fmt.Errorf("ir: encode %s: %w", p.Name, err)
-	}
-	return buf.Bytes(), nil
+	return &ep, nil
 }
 
 // --- decoding ---
@@ -647,10 +670,17 @@ func decodeVar(e encVar) (*Var, error) {
 // result shares nothing with any other program; variable identity and
 // call targets are rebuilt from the encoded reference tables.
 func DecodeProgram(data []byte) (*Program, error) {
-	var ep encProgram
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ep); err != nil {
+	progDecodes.Add(1)
+	ep, err := decodeProgramWire(data)
+	if err != nil {
 		return nil, fmt.Errorf("ir: decode: %w", err)
 	}
+	return rebuildProgram(ep)
+}
+
+// rebuildProgram resolves the flattened intermediate form back into a
+// pointer-webbed program, validating every table reference.
+func rebuildProgram(ep *encProgram) (*Program, error) {
 	p := NewProgram(ep.Name)
 	de := &decoder{}
 	globals := make([]*Var, 0, len(ep.Globals))

@@ -1,0 +1,37 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The gob framing EncodeProgram used before the deterministic wire
+// format (internal/wire) replaced it on the artifact hot path. It is
+// retained as the benchmark baseline — BenchmarkWire*/codec-bench-json
+// compare against it — and should be deleted once the codec-speed
+// ratchet lands in CI.
+
+// EncodeProgramGob serializes p with the retired gob framing over the
+// same flattened intermediate form EncodeProgram uses.
+func EncodeProgramGob(p *Program) ([]byte, error) {
+	ep, err := flattenProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ep); err != nil {
+		return nil, fmt.Errorf("ir: encode %s: %w", p.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeProgramGob reconstructs a program serialized by
+// EncodeProgramGob.
+func DecodeProgramGob(data []byte) (*Program, error) {
+	var ep encProgram
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ep); err != nil {
+		return nil, fmt.Errorf("ir: decode: %w", err)
+	}
+	return rebuildProgram(&ep)
+}

@@ -16,7 +16,7 @@ package ir
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // TypeKind discriminates the IR type universe.
@@ -157,12 +157,10 @@ func (t *Type) String() string {
 	case KindVoid:
 		return "void"
 	case KindInt:
-		var b strings.Builder
-		if !t.Signed {
-			b.WriteString("u")
+		if t.Signed {
+			return "int" + strconv.Itoa(t.Bits)
 		}
-		fmt.Fprintf(&b, "int%d", t.Bits)
-		return b.String()
+		return "uint" + strconv.Itoa(t.Bits)
 	case KindArray:
 		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
 	}

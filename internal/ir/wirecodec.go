@@ -1,0 +1,313 @@
+package ir
+
+import (
+	"sparkgo/internal/wire"
+
+	"fmt"
+)
+
+// This file is the binary wire framing of the flattened program form
+// (see codec.go for the flattening itself): every field written in a
+// fixed order through internal/wire, so identical programs encode to
+// identical bytes and the content fingerprint is a plain hash of the
+// encoding. Optional sub-nodes travel behind presence booleans; tagged
+// unions (expressions, statements) write their kind first and only the
+// fields that kind carries.
+
+// progTag versions the IR wire layout; bump it when the layout changes
+// so stale bytes fail the tag check instead of mis-decoding.
+const progTag = "irprog/1"
+
+// PutType writes a flattened type to a wire encoder — exported so the
+// downstream artifact codecs (htg, rtl) carry types in the same layout.
+// Non-array kinds never carry the element fields, keeping the common
+// case at three values.
+func PutType(e *wire.Encoder, t TypeCode) { putType(e, t) }
+
+// GetType is the wire-decoder inverse of PutType.
+func GetType(d *wire.Decoder) TypeCode { return getType(d) }
+
+func putType(e *wire.Encoder, t TypeCode) {
+	e.Int(t.Kind)
+	if t.Kind == -1 {
+		return
+	}
+	e.Int(t.Bits)
+	e.Bool(t.Signed)
+	if TypeKind(t.Kind) == KindArray {
+		e.Int(t.Len)
+		e.Int(t.ElemKind)
+		e.Int(t.ElemBits)
+		e.Bool(t.ElemSigned)
+	}
+}
+
+func getType(d *wire.Decoder) TypeCode {
+	t := TypeCode{Kind: d.Int()}
+	if t.Kind == -1 {
+		return t
+	}
+	t.Bits = d.Int()
+	t.Signed = d.Bool()
+	if TypeKind(t.Kind) == KindArray {
+		t.Len = d.Int()
+		t.ElemKind = d.Int()
+		t.ElemBits = d.Int()
+		t.ElemSigned = d.Bool()
+	}
+	return t
+}
+
+func putVar(e *wire.Encoder, v encVar) {
+	e.String(v.Name)
+	putType(e, v.Type)
+	e.Bool(v.IsParam)
+	e.Bool(v.IsGlobal)
+	e.Bool(v.Wire)
+	e.Bool(v.Synthetic)
+}
+
+func getVar(d *wire.Decoder) encVar {
+	return encVar{
+		Name:      d.String(),
+		Type:      getType(d),
+		IsParam:   d.Bool(),
+		IsGlobal:  d.Bool(),
+		Wire:      d.Bool(),
+		Synthetic: d.Bool(),
+	}
+}
+
+func putExpr(e *wire.Encoder, x *encExpr) {
+	e.Int(x.Kind)
+	switch x.Kind {
+	case encConst:
+		e.Int64(x.Val)
+		putType(e, x.Typ)
+	case encVarRef:
+		e.Int(x.Var)
+	case encIndex:
+		e.Int(x.Var)
+	case encBin:
+		e.Int(x.Op)
+		putType(e, x.Typ)
+	case encUn:
+		e.Int(x.Op)
+		putType(e, x.Typ)
+	case encSel, encCast:
+		putType(e, x.Typ)
+	case encCall:
+		e.String(x.Name)
+		e.Int(x.Func)
+	}
+	e.Uvarint(uint64(len(x.Args)))
+	for i := range x.Args {
+		putExpr(e, &x.Args[i])
+	}
+}
+
+func getExpr(d *wire.Decoder) encExpr {
+	x := encExpr{Kind: d.Int()}
+	switch x.Kind {
+	case encConst:
+		x.Val = d.Int64()
+		x.Typ = getType(d)
+	case encVarRef:
+		x.Var = d.Int()
+	case encIndex:
+		x.Var = d.Int()
+	case encBin:
+		x.Op = d.Int()
+		x.Typ = getType(d)
+	case encUn:
+		x.Op = d.Int()
+		x.Typ = getType(d)
+	case encSel, encCast:
+		x.Typ = getType(d)
+	case encCall:
+		x.Name = d.String()
+		x.Func = d.Int()
+	}
+	if n := d.Len(2); n > 0 { // an expression node is >= 2 bytes (kind + arg count)
+		x.Args = make([]encExpr, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			x.Args = append(x.Args, getExpr(d))
+		}
+	}
+	return x
+}
+
+// putExprPtr writes an optional expression behind a presence flag.
+func putExprPtr(e *wire.Encoder, x *encExpr) {
+	e.Bool(x != nil)
+	if x != nil {
+		putExpr(e, x)
+	}
+}
+
+func getExprPtr(d *wire.Decoder) *encExpr {
+	if !d.Bool() {
+		return nil
+	}
+	x := getExpr(d)
+	return &x
+}
+
+func putStmt(e *wire.Encoder, s *encStmt) {
+	e.Int(s.Kind)
+	switch s.Kind {
+	case encAssign:
+		putExprPtr(e, s.LHS)
+		putExprPtr(e, s.RHS)
+	case encIf:
+		putExprPtr(e, s.Cond)
+		putStmts(e, s.Then)
+		e.Bool(s.HasElse)
+		if s.HasElse {
+			putStmts(e, s.Else)
+		}
+	case encFor:
+		putExprPtr(e, s.Cond)
+		putStmts(e, s.Then)
+		e.String(s.Label)
+		putStmtPtr(e, s.Init)
+		putStmtPtr(e, s.Post)
+	case encWhile:
+		putExprPtr(e, s.Cond)
+		putStmts(e, s.Then)
+		e.String(s.Label)
+		e.Int(s.Bound)
+	case encReturn:
+		putExprPtr(e, s.Val)
+	case encExprStmt:
+		putExprPtr(e, s.Call)
+	case encBlock:
+		putStmts(e, s.Then)
+	}
+}
+
+func getStmt(d *wire.Decoder) encStmt {
+	s := encStmt{Kind: d.Int()}
+	switch s.Kind {
+	case encAssign:
+		s.LHS = getExprPtr(d)
+		s.RHS = getExprPtr(d)
+	case encIf:
+		s.Cond = getExprPtr(d)
+		s.Then = getStmts(d)
+		s.HasElse = d.Bool()
+		if s.HasElse {
+			s.Else = getStmts(d)
+		}
+	case encFor:
+		s.Cond = getExprPtr(d)
+		s.Then = getStmts(d)
+		s.Label = d.String()
+		s.Init = getStmtPtr(d)
+		s.Post = getStmtPtr(d)
+	case encWhile:
+		s.Cond = getExprPtr(d)
+		s.Then = getStmts(d)
+		s.Label = d.String()
+		s.Bound = d.Int()
+	case encReturn:
+		s.Val = getExprPtr(d)
+	case encExprStmt:
+		s.Call = getExprPtr(d)
+	case encBlock:
+		s.Then = getStmts(d)
+	}
+	return s
+}
+
+func putStmtPtr(e *wire.Encoder, s *encStmt) {
+	e.Bool(s != nil)
+	if s != nil {
+		putStmt(e, s)
+	}
+}
+
+func getStmtPtr(d *wire.Decoder) *encStmt {
+	if !d.Bool() {
+		return nil
+	}
+	s := getStmt(d)
+	return &s
+}
+
+func putStmts(e *wire.Encoder, ss []encStmt) {
+	e.Uvarint(uint64(len(ss)))
+	for i := range ss {
+		putStmt(e, &ss[i])
+	}
+}
+
+func getStmts(d *wire.Decoder) []encStmt {
+	n := d.Len(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]encStmt, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, getStmt(d))
+	}
+	return out
+}
+
+// encodeProgramWire frames the flattened program in the deterministic
+// binary layout.
+func encodeProgramWire(ep *encProgram) []byte {
+	e := wire.NewEncoder(256)
+	e.Tag(progTag)
+	e.String(ep.Name)
+	e.Uvarint(uint64(len(ep.Globals)))
+	for _, g := range ep.Globals {
+		putVar(e, g)
+	}
+	e.Uvarint(uint64(len(ep.Funcs)))
+	for i := range ep.Funcs {
+		f := &ep.Funcs[i]
+		e.String(f.Name)
+		putType(e, f.Ret)
+		e.Uvarint(uint64(len(f.Locals)))
+		for _, v := range f.Locals {
+			putVar(e, v)
+		}
+		e.Int(f.TempCounter)
+		putStmts(e, f.Body)
+	}
+	return e.Data()
+}
+
+// decodeProgramWire parses the binary layout back into the flattened
+// form, rejecting truncation, trailing bytes, and inflated lengths.
+func decodeProgramWire(data []byte) (*encProgram, error) {
+	d := wire.NewDecoder(data)
+	d.Tag(progTag)
+	ep := &encProgram{Name: d.String()}
+	if n := d.Len(2); n > 0 { // a variable is >= 2 bytes (name len + kind)
+		ep.Globals = make([]encVar, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			ep.Globals = append(ep.Globals, getVar(d))
+		}
+	}
+	if n := d.Len(4); n > 0 { // a function is >= 4 bytes
+		ep.Funcs = make([]encFunc, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			f := encFunc{Name: d.String(), Ret: getType(d)}
+			if ln := d.Len(2); ln > 0 {
+				f.Locals = make([]encVar, 0, ln)
+				for j := 0; j < ln && d.Err() == nil; j++ {
+					f.Locals = append(f.Locals, getVar(d))
+				}
+			}
+			f.TempCounter = d.Int()
+			f.Body = getStmts(d)
+			ep.Funcs = append(ep.Funcs, f)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	return ep, nil
+}

@@ -1,0 +1,34 @@
+package report
+
+import "testing"
+
+// FuzzDecodeTable pins the table decoder's contract under arbitrary
+// input: an error or a table, never a panic, with allocation bounded by
+// the bytes actually present (wire.Len guards every row make).
+func FuzzDecodeTable(f *testing.F) {
+	t := New("seed", "col a", "col b")
+	t.Add("x", 1)
+	t.Add("y", 2.5)
+	seed, err := EncodeTable(t)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	if len(seed) > 4 {
+		f.Add(seed[:len(seed)/2])
+		flip := append([]byte(nil), seed...)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip)
+	}
+	f.Add(append(append([]byte(nil), seed...), 0xde, 0xad))
+	f.Add(append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, seed...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := DecodeTable(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeTable(tab); err != nil {
+			t.Fatalf("decoded table does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,10 +1,9 @@
 package rtl
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sparkgo/internal/ir"
 )
@@ -17,8 +16,18 @@ import (
 // references signals by their position in the Signals slice and the
 // decoder interns exactly one *Signal per position. The port maps are
 // flattened to name-sorted slices (gob would serialize map iteration
-// order, which is random); encode(decode(x)) is byte-identical to x,
-// the property fingerprint verification of revived artifacts rests on.
+// order, which is random); encode(decode(x)) is byte-identical to x.
+// The binary wire framing lives in wirecodec.go; the retired gob
+// framing in gobcodec.go is the benchmark baseline.
+
+// moduleDecodes counts DecodeModule calls — the zero-decode revival
+// tests assert disk-warm sweeps only pay a backend decode when the
+// simulator actually needs the netlist.
+var moduleDecodes atomic.Int64
+
+// ModuleDecodeCount reports how many modules have been decoded since
+// process start.
+func ModuleDecodeCount() int64 { return moduleDecodes.Load() }
 
 type signalCode struct {
 	ID    int
@@ -76,9 +85,21 @@ type moduleCode struct {
 }
 
 // EncodeModule serializes a module losslessly into a self-contained
-// byte string. The inverse is DecodeModule.
+// byte string, framed by the deterministic binary codec of
+// internal/wire. The inverse is DecodeModule.
 func EncodeModule(m *Module) ([]byte, error) {
+	mc, err := flattenModule(m)
+	if err != nil {
+		return nil, err
+	}
+	return encodeModuleWire(mc), nil
+}
+
+// flattenModule lowers the module's signal pointer web onto the
+// position-interned intermediate form; both framings serialize it.
+func flattenModule(m *Module) (*moduleCode, error) {
 	mc := moduleCode{Name: m.Name, NumStates: m.NumStates, NextID: m.nextID}
+	mc.Signals = make([]signalCode, 0, len(m.Signals))
 	sigIndex := make(map[*Signal]int, len(m.Signals))
 	for i, s := range m.Signals {
 		sigIndex[s] = i
@@ -97,6 +118,12 @@ func EncodeModule(m *Module) ([]byte, error) {
 		}
 		return i, nil
 	}
+	totalIn := 0
+	for _, g := range m.Gates {
+		totalIn += len(g.In)
+	}
+	inArena := make([]int, 0, totalIn) // one backing array for every gate's input list
+	mc.Gates = make([]gateCode, 0, len(m.Gates))
 	for _, g := range m.Gates {
 		gc := gateCode{Kind: int(g.Kind), Bin: int(g.Bin), Un: int(g.Un),
 			UnsignedOps: g.UnsignedOps}
@@ -104,15 +131,18 @@ func EncodeModule(m *Module) ([]byte, error) {
 		if gc.Out, err = sigRef(g.Out); err != nil {
 			return nil, err
 		}
+		start := len(inArena)
 		for _, in := range g.In {
 			i, err := sigRef(in)
 			if err != nil {
 				return nil, err
 			}
-			gc.In = append(gc.In, i)
+			inArena = append(inArena, i)
 		}
+		gc.In = inArena[start:len(inArena):len(inArena)]
 		mc.Gates = append(mc.Gates, gc)
 	}
+	mc.RegWrites = make([]regWriteCode, 0, len(m.RegWrites))
 	for _, rw := range m.RegWrites {
 		ri, err := sigRef(rw.Reg)
 		if err != nil {
@@ -124,6 +154,7 @@ func EncodeModule(m *Module) ([]byte, error) {
 		}
 		mc.RegWrites = append(mc.RegWrites, regWriteCode{Reg: ri, State: rw.State, Value: vi})
 	}
+	mc.Trans = make([]rtlTransCode, 0, len(m.Trans))
 	for _, tr := range m.Trans {
 		ci, err := sigRef(tr.Cond)
 		if err != nil {
@@ -160,11 +191,7 @@ func EncodeModule(m *Module) ([]byte, error) {
 	if mc.RetSignal, err = sigRef(m.RetSignal); err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(mc); err != nil {
-		return nil, fmt.Errorf("rtl: encode: %w", err)
-	}
-	return buf.Bytes(), nil
+	return &mc, nil
 }
 
 // DecodeModule reconstructs a module serialized by EncodeModule. Signal
@@ -174,21 +201,33 @@ func EncodeModule(m *Module) ([]byte, error) {
 // indistinguishable from a freshly built one to the simulator, the
 // emitters, and further construction alike.
 func DecodeModule(data []byte) (*Module, error) {
-	var mc moduleCode
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&mc); err != nil {
+	moduleDecodes.Add(1)
+	mc, err := decodeModuleWire(data)
+	if err != nil {
 		return nil, fmt.Errorf("rtl: decode: %w", err)
 	}
+	return rebuildModule(mc)
+}
+
+// rebuildModule resolves the flattened form back into a signal-interned
+// module, memo tables included.
+func rebuildModule(mc *moduleCode) (*Module, error) {
 	m := NewModule(mc.Name)
 	m.NumStates = mc.NumStates
 	m.nextID = mc.NextID
+	// Signals and gates are allocated in blocks: one malloc per kind
+	// instead of one per object, which matters because decode is the
+	// disk-revival hot path and the GC scans what it allocates.
+	sigBlock := make([]Signal, len(mc.Signals))
 	sigs := make([]*Signal, len(mc.Signals))
 	for i, sc := range mc.Signals {
 		t, err := ir.DecodeType(sc.Typ)
 		if err != nil {
 			return nil, fmt.Errorf("rtl: decode: signal %q: %w", sc.Name, err)
 		}
-		sigs[i] = &Signal{ID: sc.ID, Name: sc.Name, Type: t,
+		sigBlock[i] = Signal{ID: sc.ID, Name: sc.Name, Type: t,
 			Kind: SigKind(sc.Kind), Const: sc.Const, Init: sc.Init}
+		sigs[i] = &sigBlock[i]
 	}
 	m.Signals = sigs
 	sigAt := func(i int) (*Signal, error) {
@@ -200,8 +239,16 @@ func DecodeModule(data []byte) (*Module, error) {
 		}
 		return sigs[i], nil
 	}
+	totalIn := 0
 	for _, gc := range mc.Gates {
-		g := &Gate{Kind: GateKind(gc.Kind), Bin: ir.BinOp(gc.Bin), Un: ir.UnOp(gc.Un),
+		totalIn += len(gc.In)
+	}
+	gateBlock := make([]Gate, len(mc.Gates))
+	inArena := make([]*Signal, 0, totalIn)
+	m.Gates = make([]*Gate, 0, len(mc.Gates))
+	for gi, gc := range mc.Gates {
+		g := &gateBlock[gi]
+		*g = Gate{Kind: GateKind(gc.Kind), Bin: ir.BinOp(gc.Bin), Un: ir.UnOp(gc.Un),
 			UnsignedOps: gc.UnsignedOps}
 		var err error
 		if g.Out, err = sigAt(gc.Out); err != nil {
@@ -210,6 +257,7 @@ func DecodeModule(data []byte) (*Module, error) {
 		if g.Out == nil {
 			return nil, fmt.Errorf("rtl: decode: gate without output signal")
 		}
+		start := len(inArena)
 		for _, i := range gc.In {
 			in, err := sigAt(i)
 			if err != nil {
@@ -218,8 +266,9 @@ func DecodeModule(data []byte) (*Module, error) {
 			if in == nil {
 				return nil, fmt.Errorf("rtl: decode: gate with nil input signal")
 			}
-			g.In = append(g.In, in)
+			inArena = append(inArena, in)
 		}
+		g.In = inArena[start:len(inArena):len(inArena)]
 		m.Gates = append(m.Gates, g)
 	}
 	for _, rc := range mc.RegWrites {
@@ -266,16 +315,10 @@ func DecodeModule(data []byte) (*Module, error) {
 	if m.RetSignal, err = sigAt(mc.RetSignal); err != nil {
 		return nil, err
 	}
-	// Rebuild the construction memo tables so a decoded module dedups
-	// constants and shares structurally identical gates exactly like the
-	// original would if it were extended further.
-	for _, s := range m.Signals {
-		if s.Kind == SigConst {
-			m.consts[fmt.Sprintf("%d|%s", s.Const, s.Type)] = s
-		}
-	}
-	for _, g := range m.Gates {
-		m.memo[gateKey(g.Kind, g.Bin, g.Un, g.UnsignedOps, g.Out.Type, g.In)] = g.Out
-	}
+	// The construction memo tables (constant dedup, structural gate
+	// sharing) rebuild lazily on the first ConstSignal/gate call: most
+	// decoded modules are simulated or emitted, never extended, and
+	// keying every gate eagerly used to dominate decode time.
+	m.memoStale = true
 	return m, nil
 }

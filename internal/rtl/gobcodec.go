@@ -1,0 +1,35 @@
+package rtl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The gob framing EncodeModule used before the deterministic wire
+// format (internal/wire) replaced it on the artifact hot path. Retained
+// as the benchmark baseline; delete once the codec-speed ratchet lands
+// in CI.
+
+// EncodeModuleGob serializes m with the retired gob framing over the
+// same flattened intermediate form EncodeModule uses.
+func EncodeModuleGob(m *Module) ([]byte, error) {
+	mc, err := flattenModule(m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(mc); err != nil {
+		return nil, fmt.Errorf("rtl: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeModuleGob reconstructs a module serialized by EncodeModuleGob.
+func DecodeModuleGob(data []byte) (*Module, error) {
+	var mc moduleCode
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&mc); err != nil {
+		return nil, fmt.Errorf("rtl: decode: %w", err)
+	}
+	return rebuildModule(&mc)
+}

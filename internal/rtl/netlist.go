@@ -8,6 +8,7 @@ package rtl
 
 import (
 	"fmt"
+	"strconv"
 
 	"sparkgo/internal/delay"
 	"sparkgo/internal/ir"
@@ -122,6 +123,10 @@ type Module struct {
 	nextID int
 	consts map[string]*Signal
 	memo   map[string]*Signal
+	// memoStale marks a decoded module whose consts/memo tables have not
+	// been rebuilt yet; ensureMemo fills them on the first construction
+	// call, so decode never pays for tables a module may never use.
+	memoStale bool
 }
 
 // NewModule creates an empty module.
@@ -142,10 +147,31 @@ func (m *Module) newSignal(name string, t *ir.Type, kind SigKind) *Signal {
 	return s
 }
 
+// ensureMemo rebuilds the construction memo tables of a decoded module
+// so it dedups constants and shares structurally identical gates
+// exactly like the original would if it were extended further. Deferred
+// to the first construction call because most decoded modules are only
+// simulated or emitted.
+func (m *Module) ensureMemo() {
+	if !m.memoStale {
+		return
+	}
+	m.memoStale = false
+	for _, s := range m.Signals {
+		if s.Kind == SigConst {
+			m.consts[constKey(s.Const, s.Type)] = s
+		}
+	}
+	for _, g := range m.Gates {
+		m.memo[gateKey(g.Kind, g.Bin, g.Un, g.UnsignedOps, g.Out.Type, g.In)] = g.Out
+	}
+}
+
 // ConstSignal returns (deduplicated) a constant driver.
 func (m *Module) ConstSignal(val int64, t *ir.Type) *Signal {
+	m.ensureMemo()
 	val = t.Canon(val)
-	key := fmt.Sprintf("%d|%s", val, t)
+	key := constKey(val, t)
 	if s, ok := m.consts[key]; ok {
 		return s
 	}
@@ -173,6 +199,7 @@ func (m *Module) Reg(name string, t *ir.Type, init int64) *Signal {
 // op in a basic block).
 func (m *Module) gate(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
 	t *ir.Type, name string, in ...*Signal) *Signal {
+	m.ensureMemo()
 	key := gateKey(kind, bin, un, unsignedOps, t, in)
 	if s, ok := m.memo[key]; ok {
 		return s
@@ -184,15 +211,62 @@ func (m *Module) gate(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
 	return out
 }
 
+// appendTypeKey appends a structural rendering of t — kind, width,
+// signedness, array shape — distinguishing exactly the types Equal
+// distinguishes. The memo keys below are minted once per gate/const on
+// the build AND decode hot paths, so they are built with strconv
+// appends on a stack buffer; fmt rendering here was the single largest
+// cost of reviving a module.
+func appendTypeKey(b []byte, t *ir.Type) []byte {
+	if t == nil {
+		return append(b, '?')
+	}
+	b = strconv.AppendInt(b, int64(t.Kind), 10)
+	switch t.Kind {
+	case ir.KindInt:
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(t.Bits), 10)
+		if t.Signed {
+			b = append(b, 's')
+		}
+	case ir.KindArray:
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(t.Len), 10)
+		b = append(b, ':')
+		b = appendTypeKey(b, t.Elem)
+	}
+	return b
+}
+
+// constKey renders the dedup key of a constant driver; the codec
+// rebuilds the const table for decoded modules with the same recipe.
+func constKey(val int64, t *ir.Type) string {
+	b := make([]byte, 0, 32)
+	b = strconv.AppendInt(b, val, 10)
+	b = append(b, '|')
+	b = appendTypeKey(b, t)
+	return string(b)
+}
+
 // gateKey renders the structural-sharing memo key of a gate; the codec
 // rebuilds the memo table for decoded modules with the same recipe.
 func gateKey(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
 	t *ir.Type, in []*Signal) string {
-	key := fmt.Sprintf("%d|%d|%d|%v|%s", kind, bin, un, unsignedOps, t)
+	b := make([]byte, 0, 64)
+	b = strconv.AppendInt(b, int64(kind), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(bin), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(un), 10)
+	b = append(b, '|')
+	b = strconv.AppendBool(b, unsignedOps)
+	b = append(b, '|')
+	b = appendTypeKey(b, t)
 	for _, s := range in {
-		key += fmt.Sprintf("|%d", s.ID)
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(s.ID), 10)
 	}
-	return key
+	return string(b)
 }
 
 // Bin adds a binary-operator gate.

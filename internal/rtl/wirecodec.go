@@ -1,0 +1,130 @@
+package rtl
+
+import (
+	"fmt"
+
+	"sparkgo/internal/ir"
+	"sparkgo/internal/wire"
+)
+
+// The binary wire framing of the flattened module form (see codec.go
+// for the flattening): fixed field order, varint lengths, signals
+// referenced by position. Identical modules encode to identical bytes.
+
+// moduleTag versions the RTL wire layout.
+const moduleTag = "rtlmod/1"
+
+// encodeModuleWire frames the flattened module in the deterministic
+// binary layout.
+func encodeModuleWire(mc *moduleCode) []byte {
+	e := wire.NewEncoder(1024)
+	e.Tag(moduleTag)
+	e.String(mc.Name)
+	e.Int(mc.NumStates)
+	e.Int(mc.RetSignal)
+	e.Int(mc.NextID)
+	e.Uvarint(uint64(len(mc.Signals)))
+	for _, sc := range mc.Signals {
+		e.Int(sc.ID)
+		e.String(sc.Name)
+		ir.PutType(e, sc.Typ)
+		e.Int(sc.Kind)
+		e.Int64(sc.Const)
+		e.Int64(sc.Init)
+	}
+	e.Uvarint(uint64(len(mc.Gates)))
+	for i := range mc.Gates {
+		gc := &mc.Gates[i]
+		e.Int(gc.Out)
+		e.Int(gc.Kind)
+		e.Int(gc.Bin)
+		e.Int(gc.Un)
+		e.Bool(gc.UnsignedOps)
+		e.Ints(gc.In)
+	}
+	e.Uvarint(uint64(len(mc.RegWrites)))
+	for _, rw := range mc.RegWrites {
+		e.Int(rw.Reg)
+		e.Int(rw.State)
+		e.Int(rw.Value)
+	}
+	e.Uvarint(uint64(len(mc.Trans)))
+	for _, tc := range mc.Trans {
+		e.Int(tc.From)
+		e.Int(tc.Cond)
+		e.Bool(tc.CondValue)
+		e.Int(tc.To)
+	}
+	e.Uvarint(uint64(len(mc.ScalarPorts)))
+	for _, pc := range mc.ScalarPorts {
+		e.String(pc.Name)
+		e.Int(pc.Sig)
+	}
+	e.Uvarint(uint64(len(mc.ArrayPorts)))
+	for _, pc := range mc.ArrayPorts {
+		e.String(pc.Name)
+		e.Ints(pc.Sigs)
+	}
+	return e.Data()
+}
+
+// decodeModuleWire parses the binary layout back into the flattened
+// form, rejecting truncation, trailing bytes, and inflated lengths.
+func decodeModuleWire(data []byte) (*moduleCode, error) {
+	d := wire.NewDecoder(data)
+	d.Tag(moduleTag)
+	mc := &moduleCode{
+		Name:      d.String(),
+		NumStates: d.Int(),
+		RetSignal: d.Int(),
+		NextID:    d.Int(),
+	}
+	if n := d.Len(7); n > 0 { // a signal is >= 7 bytes
+		mc.Signals = make([]signalCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			mc.Signals = append(mc.Signals, signalCode{
+				ID: d.Int(), Name: d.String(), Typ: ir.GetType(d),
+				Kind: d.Int(), Const: d.Int64(), Init: d.Int64()})
+		}
+	}
+	if n := d.Len(6); n > 0 { // a gate is >= 6 bytes
+		mc.Gates = make([]gateCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			mc.Gates = append(mc.Gates, gateCode{
+				Out: d.Int(), Kind: d.Int(), Bin: d.Int(), Un: d.Int(),
+				UnsignedOps: d.Bool(), In: d.Ints()})
+		}
+	}
+	if n := d.Len(3); n > 0 { // a register write is >= 3 bytes
+		mc.RegWrites = make([]regWriteCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			mc.RegWrites = append(mc.RegWrites, regWriteCode{
+				Reg: d.Int(), State: d.Int(), Value: d.Int()})
+		}
+	}
+	if n := d.Len(4); n > 0 { // a transition is >= 4 bytes
+		mc.Trans = make([]rtlTransCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			mc.Trans = append(mc.Trans, rtlTransCode{
+				From: d.Int(), Cond: d.Int(), CondValue: d.Bool(), To: d.Int()})
+		}
+	}
+	if n := d.Len(2); n > 0 { // a scalar port is >= 2 bytes
+		mc.ScalarPorts = make([]scalarPortCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			mc.ScalarPorts = append(mc.ScalarPorts, scalarPortCode{
+				Name: d.String(), Sig: d.Int()})
+		}
+	}
+	if n := d.Len(2); n > 0 { // an array port is >= 2 bytes
+		mc.ArrayPorts = make([]arrayPortCode, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			mc.ArrayPorts = append(mc.ArrayPorts, arrayPortCode{
+				Name: d.String(), Sigs: d.Ints()})
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("module: %w", err)
+	}
+	return mc, nil
+}

@@ -1,10 +1,9 @@
 package sched
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sparkgo/internal/delay"
 	"sparkgo/internal/dfa"
@@ -22,8 +21,16 @@ import (
 // dependence adjacency) is flattened to an index-ordered slice on the
 // wire: gob would otherwise serialize map iteration order, which is
 // random, and the codec's contract is that encode(decode(x)) is
-// byte-identical to x so revived artifacts can be fingerprint-verified
-// by re-encoding.
+// byte-identical to x. The binary wire framing lives in wirecodec.go;
+// the retired gob framing in gobcodec.go is the benchmark baseline.
+
+// resultDecodes counts DecodeResult calls — the zero-decode revival
+// tests assert disk-warm sweeps never pay a midend decode.
+var resultDecodes atomic.Int64
+
+// ResultDecodeCount reports how many schedules have been decoded since
+// process start.
+func ResultDecodeCount() int64 { return resultDecodes.Load() }
 
 type schedTransCode struct {
 	From      int
@@ -77,9 +84,22 @@ type resultCode struct {
 }
 
 // EncodeResult serializes a schedule losslessly into a self-contained
-// byte string (graph and program included). The inverse is DecodeResult.
+// byte string (graph and program included), framed by the deterministic
+// binary codec of internal/wire. The inverse is DecodeResult.
 func EncodeResult(r *Result) ([]byte, error) {
-	graph, err := htg.EncodeGraph(r.G)
+	rc, err := flattenResult(r, htg.EncodeGraph)
+	if err != nil {
+		return nil, err
+	}
+	return encodeResultWire(rc), nil
+}
+
+// flattenResult lowers the schedule's maps and pointers onto the
+// index-ordered intermediate form; both framings serialize it.
+// encodeGraph serializes the embedded graph — the framing's own graph
+// codec, so an encoding never mixes framings.
+func flattenResult(r *Result, encodeGraph func(*htg.Graph) ([]byte, error)) (*resultCode, error) {
+	graph, err := encodeGraph(r.G)
 	if err != nil {
 		return nil, fmt.Errorf("sched: encode: %w", err)
 	}
@@ -192,11 +212,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		}
 	}
 
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rc); err != nil {
-		return nil, fmt.Errorf("sched: encode: %w", err)
-	}
-	return buf.Bytes(), nil
+	return &rc, nil
 }
 
 // DecodeResult reconstructs a schedule serialized by EncodeResult,
@@ -204,11 +220,18 @@ func EncodeResult(r *Result) ([]byte, error) {
 // schedule; op and variable identity is rebuilt from the embedded
 // graph's tables.
 func DecodeResult(data []byte) (*Result, error) {
-	var rc resultCode
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rc); err != nil {
+	resultDecodes.Add(1)
+	rc, err := decodeResultWire(data)
+	if err != nil {
 		return nil, fmt.Errorf("sched: decode: %w", err)
 	}
-	g, err := htg.DecodeGraph(rc.Graph)
+	return rebuildResult(rc, htg.DecodeGraph)
+}
+
+// rebuildResult resolves the flattened form back into a schedule over a
+// freshly decoded graph; decodeGraph matches the framing's graph codec.
+func rebuildResult(rc *resultCode, decodeGraph func([]byte) (*htg.Graph, error)) (*Result, error) {
+	g, err := decodeGraph(rc.Graph)
 	if err != nil {
 		return nil, fmt.Errorf("sched: decode: %w", err)
 	}

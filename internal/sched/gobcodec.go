@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"sparkgo/internal/htg"
+)
+
+// The gob framing EncodeResult used before the deterministic wire
+// format (internal/wire) replaced it on the artifact hot path. Retained
+// as the benchmark baseline; delete once the codec-speed ratchet lands
+// in CI.
+
+// EncodeResultGob serializes r with the retired gob framing — the
+// embedded graph travels gob-framed too, so the framings never mix.
+func EncodeResultGob(r *Result) ([]byte, error) {
+	rc, err := flattenResult(r, htg.EncodeGraphGob)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rc); err != nil {
+		return nil, fmt.Errorf("sched: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResultGob reconstructs a schedule serialized by EncodeResultGob.
+func DecodeResultGob(data []byte) (*Result, error) {
+	var rc resultCode
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rc); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	return rebuildResult(&rc, htg.DecodeGraphGob)
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoder drives the primitive readers over arbitrary input: every
+// read must either succeed or set the sticky error — never panic, and
+// never hand back a subslice outside the input.
+func FuzzDecoder(f *testing.F) {
+	e := &Encoder{}
+	e.Tag("fuzz/1")
+	e.Uvarint(3)
+	e.Int(-5)
+	e.Bool(true)
+	e.Float64(2.5)
+	e.String("seed")
+	e.Bytes([]byte{1, 2, 3})
+	f.Add(e.Data())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		// A fixed read script: the order is arbitrary, panics are the bug.
+		_ = d.Uvarint()
+		_ = d.Int64()
+		_ = d.Bool()
+		_ = d.Float64()
+		_ = d.String()
+		if b := d.Bytes(); len(b) > len(data) {
+			t.Fatalf("Bytes returned %d bytes from a %d-byte input", len(b), len(data))
+		}
+		if n := d.Len(4); d.Err() == nil && n > len(data) {
+			t.Fatalf("Len admitted %d elements over %d input bytes", n, len(data))
+		}
+		_ = d.Finish()
+	})
+}
+
+// FuzzRoundTrip checks that any (string, bytes, int) triple survives an
+// encode/decode cycle byte-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("x", []byte{1}, int64(-3))
+	f.Add("", []byte(nil), int64(0))
+	f.Fuzz(func(t *testing.T, s string, b []byte, v int64) {
+		e := &Encoder{}
+		e.String(s)
+		e.Bytes(b)
+		e.Int64(v)
+		d := NewDecoder(e.Data())
+		if got := d.String(); got != s {
+			t.Fatalf("string %q round-tripped to %q", s, got)
+		}
+		if got := d.Bytes(); !bytes.Equal(got, b) {
+			t.Fatalf("bytes %v round-tripped to %v", b, got)
+		}
+		if got := d.Int64(); got != v {
+			t.Fatalf("int64 %d round-tripped to %d", v, got)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

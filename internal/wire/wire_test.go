@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := &Encoder{}
+	e.Tag("test/1")
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.Int(-7)
+	e.Int(0)
+	e.Int64(math.MinInt64)
+	e.Int64(math.MaxInt64)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(0)
+	e.Float64(math.Copysign(0, -1))
+	e.Float64(3.25)
+	e.Float64(math.Inf(-1))
+	e.Float64(math.NaN())
+	e.String("")
+	e.String("hello, wire")
+	e.Bytes(nil)
+	e.Bytes([]byte{0, 1, 2, 255})
+	e.Raw([]byte{9, 9})
+
+	d := NewDecoder(e.Data())
+	d.Tag("test/1")
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint 0: got %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint 1<<40: got %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("int -7: got %d", got)
+	}
+	if got := d.Int(); got != 0 {
+		t.Errorf("int 0: got %d", got)
+	}
+	if got := d.Int64(); got != math.MinInt64 {
+		t.Errorf("int64 min: got %d", got)
+	}
+	if got := d.Int64(); got != math.MaxInt64 {
+		t.Errorf("int64 max: got %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bools did not round-trip")
+	}
+	if got := d.Float64(); got != 0 || math.Signbit(got) {
+		t.Errorf("float 0: got %v", got)
+	}
+	if got := d.Float64(); got != 0 || !math.Signbit(got) {
+		t.Errorf("float -0: got %v", got)
+	}
+	if got := d.Float64(); got != 3.25 {
+		t.Errorf("float 3.25: got %v", got)
+	}
+	if got := d.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("float -inf: got %v", got)
+	}
+	if got := d.Float64(); !math.IsNaN(got) {
+		t.Errorf("float nan: got %v", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty string: got %q", got)
+	}
+	if got := d.String(); got != "hello, wire" {
+		t.Errorf("string: got %q", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("empty bytes: got %v", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{0, 1, 2, 255}) {
+		t.Errorf("bytes: got %v", got)
+	}
+	if got := d.Raw(2); !bytes.Equal(got, []byte{9, 9}) {
+		t.Errorf("raw: got %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	enc := func() []byte {
+		e := NewEncoder(64)
+		e.Tag("det/1")
+		e.Int(-42)
+		e.Float64(1.5)
+		e.String("abc")
+		return e.Data()
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("identical writes produced different bytes")
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0xff}) // truncated varint
+	_ = d.Uvarint()
+	if d.Err() == nil {
+		t.Fatal("truncated uvarint did not error")
+	}
+	first := d.Err()
+	// Every subsequent read must return zero values and keep the error.
+	if d.Int() != 0 || d.Bool() || d.Float64() != 0 || d.String() != "" || d.Bytes() != nil {
+		t.Error("reads after error returned non-zero values")
+	}
+	if d.Err() != first {
+		t.Error("sticky error was replaced")
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	e := &Encoder{}
+	e.Tag("a/1")
+	d := NewDecoder(e.Data())
+	d.Tag("b/1")
+	if d.Err() == nil {
+		t.Fatal("tag mismatch not detected")
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	_ = d.Bool()
+	if d.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestLenGuardsOverAllocation(t *testing.T) {
+	// A length prefix claiming a billion elements over a 3-byte input
+	// must fail at Len, before any caller could allocate.
+	e := &Encoder{}
+	e.Uvarint(1 << 30)
+	d := NewDecoder(e.Data())
+	if n := d.Len(1); n != 0 || d.Err() == nil {
+		t.Fatalf("inflated length accepted: n=%d err=%v", n, d.Err())
+	}
+
+	// The per-element floor tightens the bound: 10 one-byte values fit
+	// in 10 bytes but not 10 eight-byte floats.
+	e = &Encoder{}
+	e.Uvarint(10)
+	e.Raw(make([]byte, 10))
+	d = NewDecoder(e.Data())
+	if n := d.Len(8); n != 0 || d.Err() == nil {
+		t.Fatalf("length over min-element-size accepted: n=%d err=%v", n, d.Err())
+	}
+	d = NewDecoder(e.Data())
+	if n := d.Len(1); n != 10 || d.Err() != nil {
+		t.Fatalf("valid length rejected: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestFinishTrailingBytes(t *testing.T) {
+	e := &Encoder{}
+	e.Int(1)
+	e.Raw([]byte{0})
+	d := NewDecoder(e.Data())
+	_ = d.Int()
+	if err := d.Finish(); err == nil {
+		t.Fatal("trailing byte not reported")
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	e := &Encoder{}
+	e.String("hello")
+	data := e.Data()
+	for cut := 0; cut < len(data); cut++ {
+		d := NewDecoder(data[:cut])
+		_ = d.String()
+		if d.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
