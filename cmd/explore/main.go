@@ -9,13 +9,16 @@
 // per-stage cache statistics (memory vs disk hits vs computed):
 //
 //	explore -sweep [-workers 8] [-sizes 4,8,16,32] [-sim 1] [-csv]
-//	        [-cache-dir .explore-cache] [-src a.c,b.c]
+//	        [-cache-dir .explore-cache] [-remote-cache http://host:8341]
+//	        [-src a.c,b.c]
 //
 // -src replaces the built-in ILD generator with arbitrary user programs
 // parsed from files: the sweep batches every named source into one
 // configuration space. -cache-dir persists stage artifacts and
 // evaluated points on disk, so repeated sweeps — including across
-// process restarts — reuse earlier synthesis work; -cache-max-bytes
+// process restarts — reuse earlier synthesis work; -remote-cache chains
+// a sparkd daemon's /v1/blobs API behind the local tiers, so a cold
+// machine reuses the fleet's artifacts; -cache-max-bytes
 // garbage-collects the cache directory afterwards (oldest artifacts
 // first, including those under retired schema versions).
 //
@@ -78,6 +81,7 @@ func main() {
 	sim := flag.Int("sim", 1, "per-config rtlsim latency trials for -sweep (0 = report FSM states)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed exploration cache directory (persists across runs)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "garbage-collect the cache directory down to this many bytes after the run (0 = never)")
+	remoteCache := flag.String("remote-cache", "", "base URL of a sparkd daemon whose /v1/blobs API backs the local cache (e.g. http://host:8341)")
 	srcFiles := flag.String("src", "", "comma-separated source files to sweep instead of the ILD generator")
 	benchJSON := flag.String("bench-json", "", "write cold/warm/disk-warm sweep benchmark results to this JSON file and exit")
 	simBenchJSON := flag.String("sim-bench-json", "", "write scalar-vs-batched simulator benchmark results to this JSON file and exit")
@@ -186,7 +190,7 @@ func main() {
 				os.Exit(1)
 			}
 			err = runSearch(ctx, *strategy, *objective, *n, *budget, *deadline, *seed,
-				*workers, *sim, *cacheDir, *searchJSON, printTable)
+				*workers, *sim, *cacheDir, *remoteCache, *searchJSON, printTable)
 			if err == nil {
 				err = runCacheGC(*cacheDir, *cacheMaxBytes)
 			}
@@ -211,7 +215,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "sweep FAILED: %v\n", perr)
 				os.Exit(1)
 			}
-			err = runSweepLocal(ctx, *sizes, *srcFiles, *cacheDir, *workers, *sim, *deadline, printTable)
+			err = runSweepLocal(ctx, *sizes, *srcFiles, *cacheDir, *remoteCache, *workers, *sim, *deadline, printTable)
 			if err == nil {
 				err = runCacheGC(*cacheDir, *cacheMaxBytes)
 			}
@@ -354,14 +358,14 @@ func loadSources(fileList string) (map[string]*ir.Program, []string, error) {
 // point cloud, the Pareto frontier, and the engine's cache statistics.
 // The context (SIGINT/SIGTERM) and the -deadline flag both cancel the
 // sweep mid-run; a cancelled sweep reports how far it got and fails.
-func runSweepLocal(ctx context.Context, sizeList, srcFiles, cacheDir string,
+func runSweepLocal(ctx context.Context, sizeList, srcFiles, cacheDir, remoteCache string,
 	workers, simTrials int, deadline time.Duration, printTable func(*report.Table)) error {
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir, RemoteCache: remoteCache}
 	var space []explore.Config
 	if srcFiles != "" {
 		sources, names, err := loadSources(srcFiles)
@@ -402,15 +406,17 @@ func runSweepLocal(ctx context.Context, sizeList, srcFiles, cacheDir string,
 }
 
 // cacheTable renders the engine's per-stage cache statistics: where each
-// lookup was served from (memory, disk, or computed by synthesis), one
-// row per layer of the staged flow.
+// lookup was served from (memory, disk, the remote peer, or computed by
+// synthesis), one row per layer of the staged flow, plus a row for the
+// absorbed store errors.
 func cacheTable(s explore.Stats) *report.Table {
 	t := report.New("exploration cache statistics",
-		"layer", "memory hits", "disk hits", "computed", "disk errors")
-	t.Add("point", s.PointMemHits, s.PointDiskHits, s.PointComputed, "")
-	t.Add("frontend stage", s.FrontendMemHits, s.FrontendDiskHits, s.FrontendComputed, "")
-	t.Add("midend stage", s.MidendMemHits, s.MidendDiskHits, s.MidendComputed, "")
-	t.Add("backend stage", s.BackendMemHits, s.BackendDiskHits, s.BackendComputed, "")
-	t.Add("disk", "", "", "", s.DiskErrors)
+		"layer", "memory hits", "disk hits", "remote hits", "computed", "errors")
+	t.Add("point", s.PointMemHits, s.PointDiskHits, s.PointRemoteHits, s.PointComputed, "")
+	t.Add("frontend stage", s.FrontendMemHits, s.FrontendDiskHits, s.FrontendRemoteHits, s.FrontendComputed, "")
+	t.Add("midend stage", s.MidendMemHits, s.MidendDiskHits, s.MidendRemoteHits, s.MidendComputed, "")
+	t.Add("backend stage", s.BackendMemHits, s.BackendDiskHits, s.BackendRemoteHits, s.BackendComputed, "")
+	t.Add("disk", "", "", "", "", s.DiskErrors)
+	t.Add("remote", "", "", "", "", s.RemoteErrors)
 	return t
 }

@@ -60,7 +60,7 @@ type searchReport struct {
 // statistics; jsonPath != "" additionally writes the machine-readable
 // summary CI archives as BENCH_search.json.
 func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals int,
-	deadline time.Duration, seed int64, workers, simTrials int, cacheDir, jsonPath string,
+	deadline time.Duration, seed int64, workers, simTrials int, cacheDir, remoteCache, jsonPath string,
 	printTable func(*report.Table)) error {
 	st, err := explore.StrategyByName(strategy)
 	if err != nil {
@@ -73,7 +73,7 @@ func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals i
 	if budgetEvals <= 0 && deadline <= 0 {
 		return fmt.Errorf("search needs a budget: -budget evaluations and/or -deadline")
 	}
-	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir, RemoteCache: remoteCache}
 	budget := explore.Budget{MaxEvaluations: budgetEvals, MaxDuration: deadline}
 
 	start := time.Now()

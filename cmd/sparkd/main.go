@@ -6,13 +6,17 @@
 //
 //	sparkd [-addr :8341] [-workers 0] [-sim 1]
 //	       [-cache-dir .sparkd-cache] [-cache-max-bytes 0]
+//	       [-remote-cache http://peer:8341]
 //	       [-addr-file path] [-drain-timeout 30s] [-pprof localhost:6060]
 //
 // -workers bounds concurrent jobs (0 = one per CPU); each job's sweeps
 // additionally parallelize over the engine's own pool. -cache-dir
 // persists stage artifacts across restarts; -cache-max-bytes keeps the
 // directory under a byte budget (GC runs after jobs finish, oldest
-// artifacts first). -addr-file writes the bound address — useful with
+// artifacts first). -remote-cache chains this daemon's cache behind a
+// peer's /v1/blobs API: local misses are fetched from the peer and
+// local work is written through to it, so a cold node warms itself off
+// the fleet. -addr-file writes the bound address — useful with
 // -addr 127.0.0.1:0 when scripts need the kernel-chosen port. -pprof
 // serves net/http/pprof on a separate opt-in listener (its own mux, so
 // the job API never grows debug routes).
@@ -24,12 +28,15 @@
 //
 // API surface (see internal/service):
 //
-//	POST   /v1/jobs        {"kind":"synth"|"sweep"|"search", ...}
-//	GET    /v1/jobs        list
-//	GET    /v1/jobs/{id}   poll; terminal jobs carry results inline
-//	DELETE /v1/jobs/{id}   cancel
-//	GET    /v1/stats       cache/queue/GC counters + cache schema
-//	GET    /healthz        liveness
+//	POST   /v1/jobs                  {"kind":"synth"|"sweep"|"search", ...}
+//	GET    /v1/jobs                  list
+//	GET    /v1/jobs/{id}             poll; terminal jobs carry results inline
+//	DELETE /v1/jobs/{id}             cancel
+//	GET    /v1/blobs/{kind}/{key}    raw artifact bytes (HEAD probes presence)
+//	PUT    /v1/blobs/{kind}/{key}    store artifact (digest-verified)
+//	DELETE /v1/blobs/{kind}/{key}    purge artifact
+//	GET    /v1/stats                 cache/blob/queue/GC counters + cache schema
+//	GET    /healthz                  liveness
 package main
 
 import (
@@ -58,6 +65,7 @@ func main() {
 	sim := flag.Int("sim", 1, "per-config rtlsim latency trials (0 = report FSM states)")
 	cacheDir := flag.String("cache-dir", "", "disk-backed exploration cache directory shared by every job")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "garbage-collect the cache directory down to this many bytes after jobs (0 = never)")
+	remoteCache := flag.String("remote-cache", "", "base URL of a peer daemon whose /v1/blobs API backs the local cache (e.g. http://peer:8341)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown before cancelling them")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (opt-in debug listener, e.g. localhost:6060)")
 	flag.Parse()
@@ -71,17 +79,24 @@ func main() {
 		defer stop()
 	}
 
-	if err := run(*addr, *addrFile, *workers, *engineWorkers, *sim, *cacheDir, *cacheMaxBytes, *drainTimeout); err != nil {
+	if err := run(*addr, *addrFile, *workers, *engineWorkers, *sim, *cacheDir, *cacheMaxBytes, *remoteCache, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "sparkd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile string, workers, engineWorkers, sim int, cacheDir string,
-	cacheMaxBytes int64, drainTimeout time.Duration) error {
-	eng := &explore.Engine{Workers: engineWorkers, SimTrials: sim, CacheDir: cacheDir}
+	cacheMaxBytes int64, remoteCache string, drainTimeout time.Duration) error {
+	eng := &explore.Engine{Workers: engineWorkers, SimTrials: sim, CacheDir: cacheDir, RemoteCache: remoteCache}
 	queue := service.NewQueue(eng, effectiveWorkers(workers), cacheMaxBytes)
-	srv := &http.Server{Handler: service.NewServer(queue)}
+	// Header/idle timeouts shed half-open and idle connections; no
+	// blanket write timeout, since job polls legitimately stream large
+	// result payloads.
+	srv := &http.Server{
+		Handler:           service.NewServer(queue),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -142,7 +157,15 @@ func servePprof(addr string) (func(), error) {
 		return nil, err
 	}
 	fmt.Printf("sparkd pprof listening on http://%s/debug/pprof/\n", ln.Addr())
-	go func() { _ = http.Serve(ln, mux) }() // lives until the closer runs or the process exits
+	// Same connection hygiene as the main listener — a debug port is
+	// still a port. pprof's profile endpoints stream for their whole
+	// sampling window, so again no blanket write timeout.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }() // lives until the closer runs or the process exits
 	return func() { ln.Close() }, nil
 }
 

@@ -1,0 +1,108 @@
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"sparkgo/internal/wire"
+)
+
+// CASKind is the reserved kind the content-addressed payloads live
+// under. Logical kinds wrapped by CAS store a tiny alias blob instead
+// of the payload, so byte-identical artifacts reached through
+// different stage keys — two option sets converging on one schedule —
+// occupy disk once.
+const CASKind = "cas"
+
+// aliasTag frames an alias blob; anything that does not parse as one
+// is treated as a directly stored payload, so a store written before
+// the CAS wrapper existed keeps serving.
+const aliasTag = "blobcas/1"
+
+// CAS deduplicates payloads in an inner store by content address: Put
+// stores the payload once under (CASKind, sha256(payload)) and an
+// alias under the logical (kind, key); Get resolves the alias back. An
+// alias whose payload has been evicted (GC) reads as a clean miss —
+// the caller recomputes and the re-Put heals both entries.
+type CAS struct {
+	Inner Store
+	// Kinds selects the logical kinds to deduplicate; other kinds pass
+	// through untouched (point payloads are unique per key, so
+	// aliasing them would only add files).
+	Kinds map[string]bool
+}
+
+func encodeAlias(sha string) []byte {
+	e := wire.NewEncoder(16 + len(sha))
+	e.Tag(aliasTag)
+	e.String(sha)
+	return e.Data()
+}
+
+func decodeAlias(data []byte) (string, bool) {
+	d := wire.NewDecoder(data)
+	d.Tag(aliasTag)
+	sha := d.String()
+	if d.Finish() != nil || len(sha) != hex.EncodedLen(sha256.Size) {
+		return "", false
+	}
+	return sha, true
+}
+
+// Get resolves (kind, key), following an alias to its content-addressed
+// payload.
+func (c *CAS) Get(kind, key string) ([]byte, bool, error) {
+	data, ok, err := c.Inner.Get(kind, key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	sha, isAlias := decodeAlias(data)
+	if !isAlias {
+		return data, true, nil
+	}
+	payload, ok, err := c.Inner.Get(CASKind, sha)
+	if err != nil || !ok {
+		// The alias outlived its payload (eviction raced or a partial
+		// GC): a miss, healed by the caller's recompute.
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// Put stores the payload content-addressed (for deduplicated kinds)
+// plus an alias, or directly for pass-through kinds.
+func (c *CAS) Put(kind, key string, payload []byte) error {
+	if !c.Kinds[kind] {
+		return c.Inner.Put(kind, key, payload)
+	}
+	sum := sha256.Sum256(payload)
+	sha := hex.EncodeToString(sum[:])
+	if ok, err := c.Inner.Stat(CASKind, sha); err != nil || !ok {
+		if err := c.Inner.Put(CASKind, sha, payload); err != nil {
+			return err
+		}
+	}
+	return c.Inner.Put(kind, key, encodeAlias(sha))
+}
+
+// Stat reports presence, requiring an alias's payload to still exist.
+func (c *CAS) Stat(kind, key string) (bool, error) {
+	if !c.Kinds[kind] {
+		return c.Inner.Stat(kind, key)
+	}
+	data, ok, err := c.Inner.Get(kind, key)
+	if err != nil || !ok {
+		return false, err
+	}
+	sha, isAlias := decodeAlias(data)
+	if !isAlias {
+		return true, nil
+	}
+	return c.Inner.Stat(CASKind, sha)
+}
+
+// Delete removes the logical entry only; the content-addressed payload
+// may be shared by other keys and is left to the store's GC.
+func (c *CAS) Delete(kind, key string) error {
+	return c.Inner.Delete(kind, key)
+}

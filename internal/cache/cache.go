@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sparkgo/internal/wire"
@@ -62,6 +63,33 @@ type Store struct {
 	base    string // directory handed to Open; shared by every schema version
 	root    string // <base>/<schema-version>
 	version string
+
+	// headerMisses counts files whose header parsed but did not match
+	// this store's identity (format tag, schema version, kind, or key)
+	// and were therefore reported as clean misses — the signature of a
+	// schema bump or a shared directory polluted by another version.
+	headerMisses atomic.Int64
+	// corruptions counts files whose header would not parse or whose
+	// payload failed its hash check — damaged artifacts, reported as
+	// errors.
+	corruptions atomic.Int64
+}
+
+// Stats is the store's cumulative diagnostic counters: how often Get
+// found a file it could not serve, split by cause. A nonzero
+// HeaderMisses on a freshly bumped schema is expected churn; nonzero
+// Corruptions is never expected and points at storage trouble.
+type Stats struct {
+	HeaderMisses int64
+	Corruptions  int64
+}
+
+// Stats snapshots the store's diagnostic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		HeaderMisses: s.headerMisses.Load(),
+		Corruptions:  s.corruptions.Load(),
+	}
 }
 
 // Open prepares a store rooted at dir for artifacts of the given schema
@@ -114,12 +142,15 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 	sum := d.Raw(sha256.Size)
 	payload := d.Bytes()
 	if err := d.Finish(); err != nil {
+		s.corruptions.Add(1)
 		return nil, false, fmt.Errorf("cache: %s/%s: bad header: %w", kind, key, err)
 	}
 	if tag != fileTag || version != s.version || k != kind || ky != key {
+		s.headerMisses.Add(1)
 		return nil, false, nil
 	}
 	if got := sha256.Sum256(payload); string(got[:]) != string(sum) {
+		s.corruptions.Add(1)
 		return nil, false, fmt.Errorf("cache: %s/%s: payload hash mismatch (corrupt artifact)", kind, key)
 	}
 	now := time.Now()
@@ -162,6 +193,37 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	return nil
 }
 
+// Stat reports whether (kind, key) is stored with a matching header,
+// without hashing the payload: presence, not integrity. An unreadable
+// or unparseable file reads as absent.
+func (s *Store) Stat(kind, key string) (bool, error) {
+	data, err := os.ReadFile(s.path(kind, key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("cache: %w", err)
+	}
+	d := wire.NewDecoder(data)
+	tag := d.String()
+	version := d.String()
+	k := d.String()
+	ky := d.String()
+	if d.Err() != nil {
+		return false, nil
+	}
+	return tag == fileTag && version == s.version && k == kind && ky == key, nil
+}
+
+// Delete removes the artifact stored under (kind, key); deleting a
+// missing artifact is a no-op.
+func (s *Store) Delete(kind, key string) error {
+	if err := os.Remove(s.path(kind, key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
 // KindGC is the per-kind slice of a GC pass: how much of one artifact
 // kind (frontend, midend, backend, point) was scanned and evicted, so
 // eviction pressure is attributable to a cache layer instead of
@@ -182,10 +244,23 @@ type GCStat struct {
 	RemovedFiles   int
 	RemovedBytes   int64
 	RemainingBytes int64 // ScannedBytes - RemovedBytes
+	// TmpRemovedFiles/TmpRemovedBytes count orphaned temp files — left
+	// by writers that crashed mid-Put — reclaimed by this pass. They
+	// are outside the Scanned/Removed accounting: temp files never
+	// count toward the byte budget.
+	TmpRemovedFiles int
+	TmpRemovedBytes int64
 	// Kinds is the per-kind breakdown of the counters above, sorted by
 	// kind name. Kind totals sum to the aggregate counters.
 	Kinds []KindGC
 }
+
+// tmpMaxAge is the staleness threshold for reclaiming temp files
+// during GC: a ".tmp-" file older than this was abandoned by a crashed
+// writer (a live Put renames within milliseconds), so it is removed
+// rather than skipped. Generous enough that no plausible in-flight
+// write is ever at risk.
+const tmpMaxAge = time.Hour
 
 // GC evicts artifacts oldest-mtime-first until the cache directory's
 // total size is at or under maxBytes (0 empties it). Because Get
@@ -195,10 +270,12 @@ type GCStat struct {
 // reclaimed first, which is exactly where a version bump leaves
 // garbage. The walk is extension-agnostic: every regular file counts
 // toward the budget and is evictable, whatever its suffix — including
-// artifacts written by retired formats — except the temp files a
-// concurrent Put is still assembling (".tmp-" prefixed), which are
-// skipped. A file that vanishes mid-walk — a concurrent GC or writer
-// won the race — is skipped, not an error.
+// artifacts written by retired formats. Temp files a concurrent Put
+// may still be assembling (".tmp-" prefixed) are skipped while fresh,
+// but reclaimed once older than tmpMaxAge — a crashed writer's orphans
+// would otherwise leak forever, invisible to the byte budget. A file
+// that vanishes mid-walk — a concurrent GC or writer won the race —
+// is skipped, not an error.
 func (s *Store) GC(maxBytes int64) (GCStat, error) {
 	if maxBytes < 0 {
 		return GCStat{}, fmt.Errorf("cache: negative GC budget %d", maxBytes)
@@ -240,7 +317,7 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 			}
 			return err
 		}
-		if d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+		if d.IsDir() {
 			return nil
 		}
 		info, err := d.Info()
@@ -249,6 +326,16 @@ func (s *Store) GC(maxBytes int64) (GCStat, error) {
 				return nil
 			}
 			return err
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			if time.Since(info.ModTime()) < tmpMaxAge {
+				return nil // plausibly a live Put; leave it alone
+			}
+			if err := os.Remove(path); err == nil {
+				stat.TmpRemovedFiles++
+				stat.TmpRemovedBytes += info.Size()
+			}
+			return nil
 		}
 		kind := kindOf(path)
 		files = append(files, entry{path: path, kind: kind, size: info.Size(), mtime: info.ModTime()})

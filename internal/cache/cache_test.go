@@ -668,3 +668,107 @@ func TestGCPartialEvictionPerKind(t *testing.T) {
 		}
 	}
 }
+
+// TestGCReclaimsStaleTempFiles: a crashed writer's orphaned ".tmp-"
+// file must be reclaimed once it is older than the staleness threshold,
+// while a fresh temp file — possibly an in-flight Put on another
+// process — stays untouched. Temp files never count toward the byte
+// budget, so reclaiming them cannot evict live artifacts.
+func TestGCReclaimsStaleTempFiles(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", "live", payloadFor("live")); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(s.Root(), "point", "ab")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".tmp-stale")
+	if err := os.WriteFile(stale, bytes.Repeat([]byte{1}, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, ".tmp-fresh")
+	if err := os.WriteFile(fresh, bytes.Repeat([]byte{2}, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TmpRemovedFiles != 1 || st.TmpRemovedBytes != 100 {
+		t.Fatalf("GC stat: %+v, want 1 stale temp file / 100 bytes reclaimed", st)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file reclaimed: %v", err)
+	}
+	if st.RemovedFiles != 0 {
+		t.Errorf("live artifacts evicted under an ample budget: %+v", st)
+	}
+	if _, ok, err := s.Get("point", "live"); err != nil || !ok {
+		t.Fatalf("live artifact lost: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStoreStatsCounters: header mismatches and corrupted payloads must
+// be counted, not just absorbed — /v1/stats surfaces these so an
+// operator can tell a cold cache from a rotting one.
+func TestStoreStatsCounters(t *testing.T) {
+	root := t.TempDir()
+	s, err := cache.Open(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.HeaderMisses != 0 || st.Corruptions != 0 {
+		t.Fatalf("fresh store stats: %+v", st)
+	}
+	// Header miss: key "b" resolves to a file holding key "a"'s record.
+	if err := s.Put("point", "a", payloadFor("a")); err != nil {
+		t.Fatal(err)
+	}
+	files := artifactFiles(t, root)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 stored file, found %d", len(files))
+	}
+	record, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", "b", payloadFor("b")); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range artifactFiles(t, root) {
+		if err := os.WriteFile(f, record, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := s.Get("point", "b"); ok || err != nil {
+		t.Fatalf("aliased Get = ok %v err %v, want clean miss", ok, err)
+	}
+	if st := s.Stats(); st.HeaderMisses == 0 {
+		t.Fatalf("header miss not counted: %+v", st)
+	}
+	// Corruption: flip a payload bit under key "a".
+	record[len(record)-1] ^= 0xff
+	for _, f := range artifactFiles(t, root) {
+		if err := os.WriteFile(f, record, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Get("point", "a"); err == nil {
+		t.Fatal("corrupt payload served")
+	}
+	if st := s.Stats(); st.Corruptions == 0 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+}

@@ -16,18 +16,25 @@
 // report model. A fully evaluated configuration is additionally
 // memoized as a Point.
 //
-// Setting CacheDir adds a disk layer (internal/cache): every stage
-// artifact — frontend, midend, backend — and every evaluated point is
-// gob-encoded under the cache directory in its lossless codec, keyed by
-// the same hashes with versioned invalidation, so sweeps survive
-// process restarts, many processes can share one cache, and
-// invalidating a single stage version only recomputes that stage. The
-// frontier helpers reduce the resulting point cloud to the best-cycle /
-// best-area Pareto set the designer actually reads.
+// Every memoized layer lives behind one tiered blob store
+// (internal/blob): an always-on bounded in-memory LRU, an optional disk
+// tier (CacheDir; internal/cache with content-address deduplication of
+// stage artifacts), and an optional remote tier (RemoteCache; another
+// daemon's /v1/blobs API). Lookups read through fastest-first and
+// backfill upward, computed artifacts write through every tier, and
+// concurrent lookups of one key share a single flight — so sweeps
+// survive process restarts, many processes share one cache directory,
+// and a cold machine can warm itself off a peer over HTTP. Artifacts
+// are stored in their deterministic wire codecs, keyed by the same
+// hashes with versioned invalidation, so bumping a single stage version
+// only recomputes that stage. The frontier helpers reduce the resulting
+// point cloud to the best-cycle / best-area Pareto set the designer
+// actually reads.
 package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -37,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sparkgo/internal/blob"
+	"sparkgo/internal/cache"
 	"sparkgo/internal/core"
 	"sparkgo/internal/delay"
 	"sparkgo/internal/interp"
@@ -171,33 +180,52 @@ type Point struct {
 }
 
 // Stats is the engine's cumulative cache accounting, split per layer.
-// For each cache the three counters partition lookups: served from
-// memory, served from disk, or computed by running the stage.
+// For each cache the four counters partition lookups: served from
+// memory, served from disk, served from the remote tier, or computed by
+// running the stage. A lookup satisfied by joining another caller's
+// in-flight computation counts as a memory hit.
 type Stats struct {
 	// Point cache: fully evaluated configurations.
-	PointMemHits  int64
-	PointDiskHits int64
-	PointComputed int64
+	PointMemHits    int64
+	PointDiskHits   int64
+	PointRemoteHits int64
+	PointComputed   int64
 	// Frontend stage cache: transformed-IR artifacts shared by every
 	// configuration with the same (source, pass list, rounds).
-	FrontendMemHits  int64
-	FrontendDiskHits int64
-	FrontendComputed int64
+	FrontendMemHits    int64
+	FrontendDiskHits   int64
+	FrontendRemoteHits int64
+	FrontendComputed   int64
 	// Midend stage cache: HTG + schedule artifacts shared by every
 	// configuration with the same transformed program and scheduling
 	// knobs (preset, delay model, resources, chaining).
-	MidendMemHits  int64
-	MidendDiskHits int64
-	MidendComputed int64
+	MidendMemHits    int64
+	MidendDiskHits   int64
+	MidendRemoteHits int64
+	MidendComputed   int64
 	// Backend stage cache: netlist + report artifacts shared by every
 	// configuration with the same schedule and report model.
-	BackendMemHits  int64
-	BackendDiskHits int64
-	BackendComputed int64
+	BackendMemHits    int64
+	BackendDiskHits   int64
+	BackendRemoteHits int64
+	BackendComputed   int64
+	// MemBackfills / DiskBackfills count payloads copied into the
+	// memory / disk tier after a hit in a slower tier — how much of the
+	// working set each tier re-absorbed this run.
+	MemBackfills  int64
+	DiskBackfills int64
 	// DiskErrors counts disk-layer failures that were absorbed by
-	// falling back to computation (the sweep itself never fails on a
-	// bad cache).
-	DiskErrors int64
+	// falling back to another tier or to computation (the sweep itself
+	// never fails on a bad cache). RemoteErrors counts the same for the
+	// remote tier — a dead peer degrades to local work.
+	DiskErrors   int64
+	RemoteErrors int64
+	// DiskHeaderMisses counts disk entries whose header did not match
+	// the requested (schema, kind, key) and read as clean misses;
+	// DiskCorruptions counts entries whose frame or payload hash failed
+	// verification. Both come from internal/cache.
+	DiskHeaderMisses int64
+	DiskCorruptions  int64
 }
 
 // Sub returns the counter-wise difference s - o: the per-run delta
@@ -205,19 +233,28 @@ type Stats struct {
 // cannot silently skip a counter when a new cache layer is added.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		PointMemHits:     s.PointMemHits - o.PointMemHits,
-		PointDiskHits:    s.PointDiskHits - o.PointDiskHits,
-		PointComputed:    s.PointComputed - o.PointComputed,
-		FrontendMemHits:  s.FrontendMemHits - o.FrontendMemHits,
-		FrontendDiskHits: s.FrontendDiskHits - o.FrontendDiskHits,
-		FrontendComputed: s.FrontendComputed - o.FrontendComputed,
-		MidendMemHits:    s.MidendMemHits - o.MidendMemHits,
-		MidendDiskHits:   s.MidendDiskHits - o.MidendDiskHits,
-		MidendComputed:   s.MidendComputed - o.MidendComputed,
-		BackendMemHits:   s.BackendMemHits - o.BackendMemHits,
-		BackendDiskHits:  s.BackendDiskHits - o.BackendDiskHits,
-		BackendComputed:  s.BackendComputed - o.BackendComputed,
-		DiskErrors:       s.DiskErrors - o.DiskErrors,
+		PointMemHits:       s.PointMemHits - o.PointMemHits,
+		PointDiskHits:      s.PointDiskHits - o.PointDiskHits,
+		PointRemoteHits:    s.PointRemoteHits - o.PointRemoteHits,
+		PointComputed:      s.PointComputed - o.PointComputed,
+		FrontendMemHits:    s.FrontendMemHits - o.FrontendMemHits,
+		FrontendDiskHits:   s.FrontendDiskHits - o.FrontendDiskHits,
+		FrontendRemoteHits: s.FrontendRemoteHits - o.FrontendRemoteHits,
+		FrontendComputed:   s.FrontendComputed - o.FrontendComputed,
+		MidendMemHits:      s.MidendMemHits - o.MidendMemHits,
+		MidendDiskHits:     s.MidendDiskHits - o.MidendDiskHits,
+		MidendRemoteHits:   s.MidendRemoteHits - o.MidendRemoteHits,
+		MidendComputed:     s.MidendComputed - o.MidendComputed,
+		BackendMemHits:     s.BackendMemHits - o.BackendMemHits,
+		BackendDiskHits:    s.BackendDiskHits - o.BackendDiskHits,
+		BackendRemoteHits:  s.BackendRemoteHits - o.BackendRemoteHits,
+		BackendComputed:    s.BackendComputed - o.BackendComputed,
+		MemBackfills:       s.MemBackfills - o.MemBackfills,
+		DiskBackfills:      s.DiskBackfills - o.DiskBackfills,
+		DiskErrors:         s.DiskErrors - o.DiskErrors,
+		RemoteErrors:       s.RemoteErrors - o.RemoteErrors,
+		DiskHeaderMisses:   s.DiskHeaderMisses - o.DiskHeaderMisses,
+		DiskCorruptions:    s.DiskCorruptions - o.DiskCorruptions,
 	}
 }
 
@@ -243,43 +280,52 @@ type Engine struct {
 	// results are deterministic and stimulus is independent per
 	// (source, config)). Zero reports the FSM state count as the latency.
 	SimTrials int
-	// CacheDir, when non-empty, backs the memoization caches with
-	// gob-encoded artifacts on disk (see internal/cache) so sweeps
-	// survive process restarts. Disk failures degrade to computation
-	// and are counted in Stats.DiskErrors.
+	// CacheDir, when non-empty, adds a disk tier to the blob store
+	// (internal/cache, wire-encoded artifacts) so sweeps survive
+	// process restarts. Disk failures degrade to computation and are
+	// counted in Stats.DiskErrors.
 	CacheDir string
+	// RemoteCache, when non-empty, adds a remote tier: the base URL of
+	// a peer daemon whose /v1/blobs API serves artifacts the local
+	// tiers miss (and receives the ones computed here). Remote failures
+	// degrade to local work and are counted in Stats.RemoteErrors.
+	RemoteCache string
+	// MemCacheBytes bounds the in-memory blob tier
+	// (0 = blob.DefaultMemBytes).
+	MemCacheBytes int64
 
 	mu sync.Mutex
-	// points is keyed on the canonical config string rather than its
-	// 64-bit hash, so a hash collision can never alias two configs.
-	points map[string]*pointEntry
-	// fronts/mids/backs memoize the stage artifacts by stage key.
-	fronts map[string]*frontEntry
-	mids   map[string]*midEntry
-	backs  map[string]*backEntry
 	// sources memoizes resolved programs and their fingerprints per
 	// source identity ("src=<name>" or "n=<scale>").
 	sources map[string]*sourceEntry
-	disk    diskLayer
 
-	pointMemHits     atomic.Int64
-	pointDiskHits    atomic.Int64
-	pointComputed    atomic.Int64
-	frontendMemHits  atomic.Int64
-	frontendDiskHits atomic.Int64
-	frontendComputed atomic.Int64
-	midendMemHits    atomic.Int64
-	midendDiskHits   atomic.Int64
-	midendComputed   atomic.Int64
-	backendMemHits   atomic.Int64
-	backendDiskHits  atomic.Int64
-	backendComputed  atomic.Int64
-	diskErrors       atomic.Int64
-}
+	// The tiered blob store behind every memoized layer (see blobStack):
+	// blobs is the full read path (mem → disk → remote), localBlobs the
+	// local tiers only — what the daemon's blob API serves, so chained
+	// daemons cannot proxy-loop. store is the raw disk layer (nil when
+	// CacheDir is empty or failed to open), kept for GC and stats.
+	blobOnce   sync.Once
+	blobs      *blob.Tiered
+	localBlobs *blob.Tiered
+	store      *cache.Store
 
-type pointEntry struct {
-	once sync.Once
-	pt   Point
+	pointMemHits       atomic.Int64
+	pointDiskHits      atomic.Int64
+	pointRemoteHits    atomic.Int64
+	pointComputed      atomic.Int64
+	frontendMemHits    atomic.Int64
+	frontendDiskHits   atomic.Int64
+	frontendRemoteHits atomic.Int64
+	frontendComputed   atomic.Int64
+	midendMemHits      atomic.Int64
+	midendDiskHits     atomic.Int64
+	midendRemoteHits   atomic.Int64
+	midendComputed     atomic.Int64
+	backendMemHits     atomic.Int64
+	backendDiskHits    atomic.Int64
+	backendRemoteHits  atomic.Int64
+	backendComputed    atomic.Int64
+	diskErrors         atomic.Int64
 }
 
 // Evaluate synthesizes one configuration, serving repeats from the
@@ -308,29 +354,54 @@ func (e *Engine) EvaluateContext(ctx context.Context, c Config) Point {
 	if err := ctx.Err(); err != nil {
 		return Point{Config: c, Err: err.Error()}
 	}
-	key := c.String()
-	e.mu.Lock()
-	if e.points == nil {
-		e.points = map[string]*pointEntry{}
+	src, err := e.resolveSource(c)
+	if err != nil {
+		e.pointComputed.Add(1)
+		return Point{Config: c, Err: err.Error()}
 	}
-	en, cached := e.points[key]
-	if !cached {
-		en = &pointEntry{}
-		e.points[key] = en
-	}
-	e.mu.Unlock()
-	if cached {
-		e.pointMemHits.Add(1)
-	}
-	en.once.Do(func() { en.pt = e.computePoint(ctx, c) })
-	if en.pt.Err != "" {
-		e.mu.Lock()
-		if e.points[key] == en {
-			delete(e.points, key)
+	pk := e.pointKey(c, src.fingerprint)
+	compute := func() ([]byte, any, error) {
+		pt := e.synthesize(ctx, c, src)
+		e.pointComputed.Add(1)
+		if pt.Err != "" {
+			// Propagating the failure as an error keeps it out of every
+			// tier (the no-sticky-errors rule); the caller rebuilds the
+			// point from it.
+			return nil, nil, errors.New(pt.Err)
 		}
-		e.mu.Unlock()
+		return encodePoint(&pt), &pt, nil
 	}
-	return en.pt
+	for attempt := 0; ; attempt++ {
+		res, err := e.blobStack().Do(kindPoint, pk, compute)
+		if err != nil {
+			return Point{Config: c, Err: err.Error()}
+		}
+		if res.Obj != nil {
+			if res.Shared {
+				e.pointMemHits.Add(1)
+			}
+			return *res.Obj.(*Point)
+		}
+		pt, derr := decodePoint(res.Data)
+		if derr != nil || pt.Err != "" {
+			// Either corruption a tier's own verification cannot catch
+			// (verified bytes that are not a point blob), or an error
+			// point persisted by an engine predating the no-sticky-errors
+			// rule: purge and retry, which recomputes through the flight.
+			if derr != nil {
+				e.diskErrors.Add(1)
+			}
+			e.blobStack().Delete(kindPoint, pk)
+			if attempt == 0 {
+				continue
+			}
+			pt := e.synthesize(ctx, c, src)
+			e.pointComputed.Add(1)
+			return pt
+		}
+		countHit(res, &e.pointMemHits, &e.pointDiskHits, &e.pointRemoteHits)
+		return *pt
+	}
 }
 
 // IsCanceled reports whether a point was skipped or cut short by context
@@ -342,23 +413,47 @@ func IsCanceled(p Point) bool {
 	return p.Err == context.Canceled.Error() || p.Err == context.DeadlineExceeded.Error()
 }
 
-// Stats reports the engine's cumulative cache statistics across sweeps.
+// Stats reports the engine's cumulative cache statistics across sweeps,
+// folding in the blob-store tier counters: backfills per tier, absorbed
+// tier errors, and the disk layer's header-miss / corruption counts.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		PointMemHits:     e.pointMemHits.Load(),
-		PointDiskHits:    e.pointDiskHits.Load(),
-		PointComputed:    e.pointComputed.Load(),
-		FrontendMemHits:  e.frontendMemHits.Load(),
-		FrontendDiskHits: e.frontendDiskHits.Load(),
-		FrontendComputed: e.frontendComputed.Load(),
-		MidendMemHits:    e.midendMemHits.Load(),
-		MidendDiskHits:   e.midendDiskHits.Load(),
-		MidendComputed:   e.midendComputed.Load(),
-		BackendMemHits:   e.backendMemHits.Load(),
-		BackendDiskHits:  e.backendDiskHits.Load(),
-		BackendComputed:  e.backendComputed.Load(),
-		DiskErrors:       e.diskErrors.Load(),
+	e.blobStack()
+	s := Stats{
+		PointMemHits:       e.pointMemHits.Load(),
+		PointDiskHits:      e.pointDiskHits.Load(),
+		PointRemoteHits:    e.pointRemoteHits.Load(),
+		PointComputed:      e.pointComputed.Load(),
+		FrontendMemHits:    e.frontendMemHits.Load(),
+		FrontendDiskHits:   e.frontendDiskHits.Load(),
+		FrontendRemoteHits: e.frontendRemoteHits.Load(),
+		FrontendComputed:   e.frontendComputed.Load(),
+		MidendMemHits:      e.midendMemHits.Load(),
+		MidendDiskHits:     e.midendDiskHits.Load(),
+		MidendRemoteHits:   e.midendRemoteHits.Load(),
+		MidendComputed:     e.midendComputed.Load(),
+		BackendMemHits:     e.backendMemHits.Load(),
+		BackendDiskHits:    e.backendDiskHits.Load(),
+		BackendRemoteHits:  e.backendRemoteHits.Load(),
+		BackendComputed:    e.backendComputed.Load(),
+		DiskErrors:         e.diskErrors.Load(),
 	}
+	for _, ts := range e.blobs.TierStats() {
+		switch ts.Name {
+		case TierMem:
+			s.MemBackfills = ts.Backfills
+		case TierDisk:
+			s.DiskBackfills = ts.Backfills
+			s.DiskErrors += ts.Errors + ts.PutErrors
+		case TierRemote:
+			s.RemoteErrors = ts.Errors + ts.PutErrors
+		}
+	}
+	if e.store != nil {
+		cs := e.store.Stats()
+		s.DiskHeaderMisses = cs.HeaderMisses
+		s.DiskCorruptions = cs.Corruptions
+	}
+	return s
 }
 
 // CacheStats reports cumulative point-cache hits and misses across
@@ -457,44 +552,6 @@ func (e *Engine) HasSource(name string) bool {
 	defer e.mu.Unlock()
 	_, ok := e.Sources[name]
 	return ok
-}
-
-// computePoint resolves a point-cache miss: disk first, then the staged
-// synthesis flow, persisting the result for the next process. Only
-// successful evaluations are persisted — writing an error point would
-// turn a transient failure into a sticky one, served on every later run
-// until the cache was deleted by hand — and an error point found on disk
-// (written by an older engine) is treated as a miss and recomputed.
-func (e *Engine) computePoint(ctx context.Context, c Config) Point {
-	src, err := e.resolveSource(c)
-	if err != nil {
-		e.pointComputed.Add(1)
-		return Point{Config: c, Err: err.Error()}
-	}
-	d := e.diskStore()
-	pk := ""
-	if d != nil {
-		pk = e.pointDiskKey(c, src.fingerprint)
-		data, ok, err := d.Get(kindPoint, pk)
-		if err != nil {
-			e.diskErrors.Add(1)
-		} else if ok {
-			if pt, err := decodePoint(data); err != nil {
-				e.diskErrors.Add(1)
-			} else if pt.Err == "" {
-				e.pointDiskHits.Add(1)
-				return *pt
-			}
-		}
-	}
-	pt := e.synthesize(ctx, c, src)
-	e.pointComputed.Add(1)
-	if d != nil && pt.Err == "" {
-		if err := d.Put(kindPoint, pk, encodePoint(&pt)); err != nil {
-			e.diskErrors.Add(1)
-		}
-	}
-	return pt
 }
 
 // synthesize evaluates one configuration through the staged flow,

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"sparkgo/internal/blob"
 	"sparkgo/internal/cache"
 	"sparkgo/internal/core"
 	"sparkgo/internal/ild"
@@ -32,14 +34,36 @@ import (
 // deterministic binary wire format (internal/wire), the cache stores
 // raw hash-verified bytes, and revival stopped decoding payloads —
 // blob metadata (cycles, fingerprints) answers for them.
-const SchemaVersion = 4
+//
+// v5: stage artifacts on disk are content-address deduplicated — the
+// logical (kind, key) entry holds a CAS alias resolving to the payload
+// stored once under its own SHA-256 — so a v4 engine reading a v5
+// directory would mis-parse aliases as blobs.
+const SchemaVersion = 5
 
-// Artifact kinds in the disk store.
+// Artifact kinds in the blob store.
 const (
 	kindFrontend = "frontend"
 	kindMidend   = "midend"
 	kindBackend  = "backend"
 	kindPoint    = "point"
+)
+
+// ValidArtifactKind reports whether kind names one of the four logical
+// artifact layers — the only kinds the daemon's blob API serves.
+func ValidArtifactKind(kind string) bool {
+	switch kind {
+	case kindFrontend, kindMidend, kindBackend, kindPoint:
+		return true
+	}
+	return false
+}
+
+// Tier names in the engine's blob stack, as reported by Stats.
+const (
+	TierMem    = "mem"
+	TierDisk   = "disk"
+	TierRemote = "remote"
 )
 
 // DiskSchema is the complete version string the disk layer is keyed
@@ -71,27 +95,68 @@ func Versions() StageVersions {
 	}
 }
 
-// diskLayer lazily opens the configured cache directory once; open
-// failures disable the layer for the engine's lifetime (counted in
-// Stats.DiskErrors) rather than failing the sweep.
-type diskLayer struct {
-	once  sync.Once
-	store *cache.Store
-}
-
-func (e *Engine) diskStore() *cache.Store {
-	if e.CacheDir == "" {
-		return nil
-	}
-	e.disk.once.Do(func() {
-		s, err := cache.Open(e.CacheDir, DiskSchema())
-		if err != nil {
-			e.diskErrors.Add(1)
+// blobStack lazily assembles the engine's tiered blob store once:
+// L1 memory (bounded LRU, write-through, backfilled), L2 disk
+// (internal/cache behind a CAS dedup wrapper, write-through,
+// backfilled), L3 remote (another daemon's /v1/blobs API,
+// write-through so local work warms the fleet, never backfilled from —
+// there is no slower tier). Single-flight lives in the tiered layer,
+// so each stage lookup below is one Do call instead of a hand-rolled
+// memo map. A disk-open failure disables that tier for the engine's
+// lifetime (counted in Stats.DiskErrors) rather than failing sweeps.
+func (e *Engine) blobStack() *blob.Tiered {
+	e.blobOnce.Do(func() {
+		mem := blob.NewMem(e.MemCacheBytes)
+		local := []blob.Tier{{Name: TierMem, Store: mem, WriteThrough: true, Backfill: true}}
+		if e.CacheDir != "" {
+			s, err := cache.Open(e.CacheDir, DiskSchema())
+			if err != nil {
+				e.diskErrors.Add(1)
+			} else {
+				e.store = s
+				dedup := &blob.CAS{Inner: s, Kinds: map[string]bool{
+					kindFrontend: true, kindMidend: true, kindBackend: true,
+				}}
+				local = append(local, blob.Tier{Name: TierDisk, Store: dedup, WriteThrough: true, Backfill: true})
+			}
+		}
+		e.localBlobs = blob.NewTiered(local...)
+		if e.RemoteCache == "" {
+			e.blobs = e.localBlobs
 			return
 		}
-		e.disk.store = s
+		remote := &blob.Remote{Base: e.RemoteCache, Schema: DiskSchema()}
+		all := append(local[:len(local):len(local)],
+			blob.Tier{Name: TierRemote, Store: remote, WriteThrough: true, Backfill: false})
+		e.blobs = blob.NewTiered(all...)
 	})
-	return e.disk.store
+	return e.blobs
+}
+
+// BlobGet serves the daemon's blob API from the engine's local tiers
+// (memory, disk) only — never the remote tier, so chained daemons can
+// not proxy-loop through each other.
+func (e *Engine) BlobGet(kind, key string) ([]byte, bool, error) {
+	e.blobStack()
+	return e.localBlobs.Get(kind, key)
+}
+
+// BlobPut stores a payload into the engine's local tiers.
+func (e *Engine) BlobPut(kind, key string, payload []byte) error {
+	e.blobStack()
+	return e.localBlobs.Put(kind, key, payload)
+}
+
+// BlobStat reports local presence of a payload.
+func (e *Engine) BlobStat(kind, key string) (bool, error) {
+	e.blobStack()
+	return e.localBlobs.Stat(kind, key)
+}
+
+// BlobDelete removes a payload from the engine's local tiers.
+func (e *Engine) BlobDelete(kind, key string) error {
+	e.blobStack()
+	return e.localBlobs.Delete(kind, key)
 }
 
 // CacheGC evicts cold artifacts from the engine's disk cache until it
@@ -99,22 +164,37 @@ func (e *Engine) diskStore() *cache.Store {
 // under retired schema versions go first). It errors when the engine has
 // no usable disk layer.
 func (e *Engine) CacheGC(maxBytes int64) (cache.GCStat, error) {
-	d := e.diskStore()
-	if d == nil {
+	e.blobStack()
+	if e.store == nil {
 		return cache.GCStat{}, fmt.Errorf("explore: no disk cache configured")
 	}
-	return d.GC(maxBytes)
+	return e.store.GC(maxBytes)
 }
 
-// pointDiskKey keys a fully evaluated configuration on disk. Unlike the
-// in-memory point cache (scoped to one engine, where the source table
-// and SimTrials are fixed), the disk key must identify everything the
-// point depends on: the canonical config, the source program's content
-// fingerprint — the same name can map to different programs across
-// processes — and the simulation depth.
-func (e *Engine) pointDiskKey(c Config, sourceFingerprint string) string {
+// pointKey keys a fully evaluated configuration in the blob store. The
+// key must identify everything the point depends on across processes:
+// the canonical config, the source program's content fingerprint — the
+// same name can map to different programs across processes — and the
+// simulation depth.
+func (e *Engine) pointKey(c Config, sourceFingerprint string) string {
 	return ir.HashText(fmt.Sprintf("point|cfg=%s|src=%s|sim=%d",
 		c.String(), sourceFingerprint, e.SimTrials))
+}
+
+// countHit attributes a blob-store hit to its tier. A shared result —
+// this caller joined another caller's in-flight lookup — counts as a
+// memory hit whatever tier the leader hit, matching the old memo-map
+// accounting; a computed result counts nothing here (the compute
+// closure already did).
+func countHit(res blob.DoResult, mem, disk, remote *atomic.Int64) {
+	switch {
+	case res.Shared, res.Tier == TierMem:
+		mem.Add(1)
+	case res.Tier == TierDisk:
+		disk.Add(1)
+	case res.Tier == TierRemote:
+		remote.Add(1)
+	}
 }
 
 // sourceEntry memoizes one resolved source program and its content
@@ -137,9 +217,9 @@ func sourceID(c Config) string {
 }
 
 // resolveSource returns the (memoized) program and fingerprint for a
-// config's source. Like the point cache (see Evaluate), resolution
-// failures are not memoized: concurrent callers share one attempt, but
-// the error entry is dropped so a later lookup re-resolves — a source
+// config's source. Like every cache layer here, resolution failures
+// are not memoized: concurrent callers share one attempt, but the
+// error entry is dropped so a later lookup re-resolves — a source
 // generator that failed transiently gets retried.
 func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
 	id := sourceID(c)
@@ -187,20 +267,14 @@ func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
 	return se, se.err
 }
 
-// frontEntry memoizes one frontend stage run by stage key.
-type frontEntry struct {
-	once sync.Once
-	fa   *core.FrontendArtifact
-	err  error
-}
-
 // frontend returns the frontend artifact for (source, options), running
-// the transformation pipeline at most once per stage key — in-memory
-// first, then the disk layer, then computation. Failed runs follow the
-// engine's no-sticky-errors rule: the error entry is dropped after the
-// shared attempt, so later lookups retry instead of serving the failure
-// forever — which is also what keeps a context-cancelled run (surfaced
-// as an error here) from poisoning the cache.
+// the transformation pipeline at most once per stage key across
+// concurrent callers (the tiered store's single flight). Lookups read
+// through memory → disk → remote; misses compute and write through.
+// Failed runs follow the engine's no-sticky-errors rule — the tiered
+// layer stores nothing and drops the flight on error, so later lookups
+// retry instead of serving the failure forever — which is also what
+// keeps a context-cancelled run from poisoning the cache.
 func (e *Engine) frontend(ctx context.Context, src *sourceEntry, o core.FrontendOptions) (*core.FrontendArtifact, error) {
 	key := core.FrontendKeyFrom(src.fingerprint, o)
 	if key == "" {
@@ -208,50 +282,75 @@ func (e *Engine) frontend(ctx context.Context, src *sourceEntry, o core.Frontend
 		e.frontendComputed.Add(1)
 		return core.FrontendContext(ctx, src.prog, o)
 	}
-	e.mu.Lock()
-	if e.fronts == nil {
-		e.fronts = map[string]*frontEntry{}
-	}
-	fe, cached := e.fronts[key]
-	if !cached {
-		fe = &frontEntry{}
-		e.fronts[key] = fe
-	}
-	e.mu.Unlock()
-	if cached {
-		e.frontendMemHits.Add(1)
-	}
-	fe.once.Do(func() {
-		if fa := e.loadFrontend(key); fa != nil {
-			e.frontendDiskHits.Add(1)
-			fe.fa = fa
-			return
-		}
-		fe.fa, fe.err = core.FrontendContext(ctx, src.prog, o)
+	compute := func() ([]byte, any, error) {
+		fa, err := core.FrontendContext(ctx, src.prog, o)
 		e.frontendComputed.Add(1)
-		if fe.err == nil {
-			// Frontend leaves content identity and the stage key to its
-			// caller; fill both before the artifact is shared.
-			enc := fe.fa.Materialize()
-			fe.fa.Key = key
-			e.storeFrontend(key, fe.fa, enc)
+		if err != nil {
+			return nil, nil, err
 		}
-	})
-	if fe.err != nil {
-		e.mu.Lock()
-		if e.fronts[key] == fe {
-			delete(e.fronts, key)
+		// Frontend leaves content identity and the stage key to its
+		// caller; fill both before the artifact is shared.
+		enc := fa.Materialize()
+		fa.Key = key
+		if enc == nil {
+			// Unencodable program: nothing faithful to persist; the
+			// in-flight artifact is still shared with concurrent callers.
+			if e.store != nil {
+				e.diskErrors.Add(1)
+			}
+			return nil, fa, nil
 		}
-		e.mu.Unlock()
+		fb := frontendBlob{
+			Program:     enc,
+			Source:      fa.Source,
+			Fingerprint: fa.Fingerprint,
+			Stages:      fa.Stages,
+			PassStats:   fa.PassStats,
+			Rounds:      fa.Rounds,
+		}
+		return fb.encode(), fa, nil
 	}
-	return fe.fa, fe.err
+	for attempt := 0; ; attempt++ {
+		res, err := e.blobStack().Do(kindFrontend, key, compute)
+		if err != nil {
+			return nil, err
+		}
+		if res.Obj != nil {
+			if res.Shared {
+				e.frontendMemHits.Add(1)
+			}
+			return res.Obj.(*core.FrontendArtifact), nil
+		}
+		fb, derr := decodeFrontendBlob(res.Data)
+		if derr != nil {
+			// A tier served verified bytes that are not a frontend blob
+			// (a schema-confused writer): purge and retry, which
+			// recomputes through the flight.
+			e.diskErrors.Add(1)
+			e.blobStack().Delete(kindFrontend, key)
+			if attempt == 0 {
+				continue
+			}
+			return nil, derr
+		}
+		countHit(res, &e.frontendMemHits, &e.frontendDiskHits, &e.frontendRemoteHits)
+		fa := core.ReviveFrontendArtifact(fb.Program)
+		fa.Source = fb.Source
+		fa.Fingerprint = fb.Fingerprint
+		fa.Key = key
+		fa.Stages = fb.Stages
+		fa.PassStats = fb.PassStats
+		fa.Rounds = fb.Rounds
+		return fa, nil
+	}
 }
 
-// frontendBlob is the disk form of a frontend artifact: the transformed
-// program travels in the lossless IR encoding (ir.EncodeProgram —
-// printed surface text would lose the expression types the passes
-// assigned), alongside the reporting metadata. Variable pointer
-// identity is rebuilt by the decoder; nothing downstream depends on it.
+// frontendBlob is the stored form of a frontend artifact: the
+// transformed program travels in the lossless IR encoding
+// (ir.EncodeProgram — printed surface text would lose the expression
+// types the passes assigned), alongside the reporting metadata.
+// Variable pointer identity is rebuilt by the decoder; nothing
+// downstream depends on it.
 type frontendBlob struct {
 	Program     []byte // ir.EncodeProgram of the transformed program
 	Source      string // canonical printed form (fingerprint pre-image)
@@ -261,78 +360,13 @@ type frontendBlob struct {
 	Rounds      int
 }
 
-// loadFrontend fetches and revives a frontend artifact from disk,
-// returning nil on any miss or parse failure — the caller then
-// recomputes. Integrity is verified by the cache layer's streaming hash
-// over the stored blob, so the program encoding is trusted as-is and
-// not decoded here: the artifact shell carries the fingerprint and
-// reporting metadata, and the program materializes lazily (Prog) only
-// if a downstream stage misses its own caches.
-func (e *Engine) loadFrontend(key string) *core.FrontendArtifact {
-	d := e.diskStore()
-	if d == nil {
-		return nil
-	}
-	data, ok, err := d.Get(kindFrontend, key)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	if !ok {
-		return nil
-	}
-	blob, err := decodeFrontendBlob(data)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	fa := core.ReviveFrontendArtifact(blob.Program)
-	fa.Source = blob.Source
-	fa.Fingerprint = blob.Fingerprint
-	fa.Key = key
-	fa.Stages = blob.Stages
-	fa.PassStats = blob.PassStats
-	fa.Rounds = blob.Rounds
-	return fa
-}
-
-// storeFrontend persists a materialized frontend artifact, reusing the
-// encoding Materialize produced; failures only count.
-func (e *Engine) storeFrontend(key string, fa *core.FrontendArtifact, enc []byte) {
-	d := e.diskStore()
-	if d == nil {
-		return
-	}
-	if enc == nil {
-		// Unencodable program: nothing faithful to persist.
-		e.diskErrors.Add(1)
-		return
-	}
-	blob := frontendBlob{
-		Program:     enc,
-		Source:      fa.Source,
-		Fingerprint: fa.Fingerprint,
-		Stages:      fa.Stages,
-		PassStats:   fa.PassStats,
-		Rounds:      fa.Rounds,
-	}
-	if err := d.Put(kindFrontend, key, blob.encode()); err != nil {
-		e.diskErrors.Add(1)
-	}
-}
-
-// midEntry memoizes one midend stage run by stage key.
-type midEntry struct {
-	once sync.Once
-	ma   *core.MidendArtifact
-	err  error
-}
-
 // midend returns the midend artifact for (frontend artifact, options),
-// lowering and scheduling at most once per stage key — in-memory first,
-// then the disk layer, then computation — under the same
-// no-sticky-errors rule the frontend layer follows. The artifact is
-// shared read-only across configurations; the backend never mutates it.
+// lowering and scheduling at most once per stage key — the same tiered
+// lookup and no-sticky-errors rule as the frontend layer. The artifact
+// is shared read-only across configurations; the backend never mutates
+// it. Revival is a header parse: the blob carries the fingerprint and
+// cycle count, and the schedule materializes lazily (Sched) only when
+// the backend stage misses its own caches.
 func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.MidendOptions) (*core.MidendArtifact, error) {
 	key := core.MidendKey(fa, o)
 	if key == "" {
@@ -341,211 +375,129 @@ func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.M
 		e.midendComputed.Add(1)
 		return core.MidendContext(ctx, fa, o)
 	}
-	e.mu.Lock()
-	if e.mids == nil {
-		e.mids = map[string]*midEntry{}
-	}
-	me, cached := e.mids[key]
-	if !cached {
-		me = &midEntry{}
-		e.mids[key] = me
-	}
-	e.mu.Unlock()
-	if cached {
-		e.midendMemHits.Add(1)
-	}
-	me.once.Do(func() {
-		if ma := e.loadMidend(key); ma != nil {
-			e.midendDiskHits.Add(1)
-			me.ma = ma
-			return
-		}
-		me.ma, me.err = core.MidendContext(ctx, fa, o)
+	compute := func() ([]byte, any, error) {
+		ma, err := core.MidendContext(ctx, fa, o)
 		e.midendComputed.Add(1)
-		if me.err == nil {
-			enc := me.ma.Materialize()
-			e.storeMidend(key, me.ma, enc)
+		if err != nil {
+			return nil, nil, err
 		}
-	})
-	if me.err != nil {
-		e.mu.Lock()
-		if e.mids[key] == me {
-			delete(e.mids, key)
+		enc := ma.Materialize()
+		ma.Key = key
+		if enc == nil {
+			if e.store != nil {
+				e.diskErrors.Add(1)
+			}
+			return nil, ma, nil
 		}
-		e.mu.Unlock()
+		mb := midendBlob{Schedule: enc, Fingerprint: ma.Fingerprint, Cycles: ma.Cycles}
+		return mb.encode(), ma, nil
 	}
-	return me.ma, me.err
+	for attempt := 0; ; attempt++ {
+		res, err := e.blobStack().Do(kindMidend, key, compute)
+		if err != nil {
+			return nil, err
+		}
+		if res.Obj != nil {
+			if res.Shared {
+				e.midendMemHits.Add(1)
+			}
+			return res.Obj.(*core.MidendArtifact), nil
+		}
+		mb, derr := decodeMidendBlob(res.Data)
+		if derr != nil {
+			e.diskErrors.Add(1)
+			e.blobStack().Delete(kindMidend, key)
+			if attempt == 0 {
+				continue
+			}
+			return nil, derr
+		}
+		countHit(res, &e.midendMemHits, &e.midendDiskHits, &e.midendRemoteHits)
+		ma := core.ReviveMidendArtifact(mb.Schedule, mb.Cycles)
+		ma.Fingerprint = mb.Fingerprint
+		ma.Key = key
+		return ma, nil
+	}
 }
 
-// midendBlob is the disk form of a midend artifact: the schedule in its
-// lossless encoding (sched.EncodeResult embeds the graph and program),
-// the content fingerprint downstream stage keys chain on, and the cycle
-// count — the one schedule metric sweep points read — so a revived
-// artifact answers every cache-warm question without decoding the
-// schedule.
+// midendBlob is the stored form of a midend artifact: the schedule in
+// its lossless encoding (sched.EncodeResult embeds the graph and
+// program), the content fingerprint downstream stage keys chain on,
+// and the cycle count — the one schedule metric sweep points read — so
+// a revived artifact answers every cache-warm question without
+// decoding the schedule.
 type midendBlob struct {
 	Schedule    []byte // sched.EncodeResult of the artifact's schedule
 	Fingerprint string
 	Cycles      int
 }
 
-// loadMidend fetches and revives a midend artifact from disk, returning
-// nil on any miss or parse failure — the caller then recomputes. The
-// cache layer's streaming hash covered the whole blob, fingerprint and
-// schedule bytes alike, so revival is a header parse: no schedule
-// decode, no re-encode. The schedule materializes lazily (Sched) only
-// when the backend stage misses its own caches.
-func (e *Engine) loadMidend(key string) *core.MidendArtifact {
-	d := e.diskStore()
-	if d == nil {
-		return nil
-	}
-	data, ok, err := d.Get(kindMidend, key)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	if !ok {
-		return nil
-	}
-	blob, err := decodeMidendBlob(data)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	ma := core.ReviveMidendArtifact(blob.Schedule, blob.Cycles)
-	ma.Fingerprint = blob.Fingerprint
-	ma.Key = key
-	return ma
-}
-
-// storeMidend persists a materialized midend artifact, reusing the
-// encoding Materialize produced; failures only count.
-func (e *Engine) storeMidend(key string, ma *core.MidendArtifact, enc []byte) {
-	d := e.diskStore()
-	if d == nil {
-		return
-	}
-	if enc == nil {
-		e.diskErrors.Add(1)
-		return
-	}
-	blob := midendBlob{Schedule: enc, Fingerprint: ma.Fingerprint, Cycles: ma.Cycles}
-	if err := d.Put(kindMidend, key, blob.encode()); err != nil {
-		e.diskErrors.Add(1)
-	}
-}
-
-// backEntry memoizes one backend stage run by stage key.
-type backEntry struct {
-	once sync.Once
-	ba   *core.BackendArtifact
-	err  error
-}
-
 // backend returns the backend artifact for (midend artifact, options),
 // binding and building the netlist at most once per stage key — the
-// same three-layer lookup and no-sticky-errors rule as the other
-// stages. The stage keys on the midend artifact's content fingerprint,
-// so two scheduling option sets that converge on the same schedule
-// share one netlist.
+// same tiered lookup and no-sticky-errors rule as the other stages.
+// The stage keys on the midend artifact's content fingerprint, so two
+// scheduling option sets that converge on the same schedule share one
+// netlist. Revival parses the artifact's report shell and leaves the
+// netlist encoded; only the simulation path pays the module decode
+// (Mod), and only when SimTrials asks for it.
 func (e *Engine) backend(ctx context.Context, ma *core.MidendArtifact, o core.BackendOptions) (*core.BackendArtifact, error) {
 	key := core.BackendKey(ma, o)
 	if key == "" {
 		e.backendComputed.Add(1)
 		return core.BackendContext(ctx, ma, o)
 	}
-	e.mu.Lock()
-	if e.backs == nil {
-		e.backs = map[string]*backEntry{}
-	}
-	be, cached := e.backs[key]
-	if !cached {
-		be = &backEntry{}
-		e.backs[key] = be
-	}
-	e.mu.Unlock()
-	if cached {
-		e.backendMemHits.Add(1)
-	}
-	be.once.Do(func() {
-		if ba := e.loadBackend(key); ba != nil {
-			e.backendDiskHits.Add(1)
-			be.ba = ba
-			return
-		}
-		be.ba, be.err = core.BackendContext(ctx, ma, o)
+	compute := func() ([]byte, any, error) {
+		ba, err := core.BackendContext(ctx, ma, o)
 		e.backendComputed.Add(1)
-		if be.err == nil {
-			enc := be.ba.Materialize()
-			e.storeBackend(key, be.ba, enc)
+		if err != nil {
+			return nil, nil, err
 		}
-	})
-	if be.err != nil {
-		e.mu.Lock()
-		if e.backs[key] == be {
-			delete(e.backs, key)
+		enc := ba.Materialize()
+		ba.Key = key
+		if enc == nil {
+			if e.store != nil {
+				e.diskErrors.Add(1)
+			}
+			return nil, ba, nil
 		}
-		e.mu.Unlock()
+		bb := backendBlob{Artifact: enc, Fingerprint: ba.Fingerprint}
+		return bb.encode(), ba, nil
 	}
-	return be.ba, be.err
+	for attempt := 0; ; attempt++ {
+		res, err := e.blobStack().Do(kindBackend, key, compute)
+		if err != nil {
+			return nil, err
+		}
+		if res.Obj != nil {
+			if res.Shared {
+				e.backendMemHits.Add(1)
+			}
+			return res.Obj.(*core.BackendArtifact), nil
+		}
+		bb, derr := decodeBackendBlob(res.Data)
+		var ba *core.BackendArtifact
+		if derr == nil {
+			ba, derr = core.ReviveBackendArtifact(bb.Artifact)
+		}
+		if derr != nil {
+			e.diskErrors.Add(1)
+			e.blobStack().Delete(kindBackend, key)
+			if attempt == 0 {
+				continue
+			}
+			return nil, derr
+		}
+		countHit(res, &e.backendMemHits, &e.backendDiskHits, &e.backendRemoteHits)
+		ba.Fingerprint = bb.Fingerprint
+		ba.Key = key
+		return ba, nil
+	}
 }
 
-// backendBlob is the disk form of a backend artifact: the netlist plus
-// report in the lossless core encoding, and the content fingerprint the
-// revival is verified against.
+// backendBlob is the stored form of a backend artifact: the netlist
+// plus report in the lossless core encoding, and the content
+// fingerprint the revival is verified against.
 type backendBlob struct {
 	Artifact    []byte // core backend encoding (rtl.EncodeModule + report)
 	Fingerprint string
-}
-
-// loadBackend fetches and revives a backend artifact from disk,
-// returning nil on any miss or parse failure. Revival parses the
-// artifact's report shell — a handful of flat fields — and leaves the
-// netlist encoded; only the simulation path pays the module decode
-// (Mod), and only when SimTrials asks for it. Integrity is the cache
-// layer's streaming hash, as with every other kind.
-func (e *Engine) loadBackend(key string) *core.BackendArtifact {
-	d := e.diskStore()
-	if d == nil {
-		return nil
-	}
-	data, ok, err := d.Get(kindBackend, key)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	if !ok {
-		return nil
-	}
-	blob, err := decodeBackendBlob(data)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	ba, err := core.ReviveBackendArtifact(blob.Artifact)
-	if err != nil {
-		e.diskErrors.Add(1)
-		return nil
-	}
-	ba.Fingerprint = blob.Fingerprint
-	ba.Key = key
-	return ba
-}
-
-// storeBackend persists a materialized backend artifact, reusing the
-// encoding Materialize produced; failures only count.
-func (e *Engine) storeBackend(key string, ba *core.BackendArtifact, enc []byte) {
-	d := e.diskStore()
-	if d == nil {
-		return
-	}
-	if enc == nil {
-		e.diskErrors.Add(1)
-		return
-	}
-	blob := backendBlob{Artifact: enc, Fingerprint: ba.Fingerprint}
-	if err := d.Put(kindBackend, key, blob.encode()); err != nil {
-		e.diskErrors.Add(1)
-	}
 }

@@ -1,16 +1,34 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"sparkgo/internal/blob"
+	"sparkgo/internal/explore"
 )
 
 // Server wires the queue to the HTTP API cmd/sparkd serves. Use
-// NewServer and mount the handler; all payloads are JSON.
+// NewServer and mount the handler; job payloads are JSON, blob payloads
+// raw bytes.
 type Server struct {
 	queue *Queue
 	mux   *http.ServeMux
+
+	// Blob-API traffic counters (the server side of peers' remote
+	// tiers), snapshotted into /v1/stats.
+	blobGets    atomic.Int64
+	blobHits    atomic.Int64
+	blobPuts    atomic.Int64
+	blobDeletes atomic.Int64
+	blobErrors  atomic.Int64
 }
 
 // NewServer builds the HTTP front end over a queue.
@@ -20,6 +38,10 @@ func NewServer(q *Queue) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	// "GET" patterns also match HEAD (presence probe without the body).
+	s.mux.HandleFunc("GET /v1/blobs/{kind}/{key}", s.blobGet)
+	s.mux.HandleFunc("PUT /v1/blobs/{kind}/{key}", s.blobPut)
+	s.mux.HandleFunc("DELETE /v1/blobs/{kind}/{key}", s.blobDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
@@ -100,9 +122,132 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.queue.View(job, true))
 }
 
-// stats handles GET /v1/stats.
+// blobCheck validates the {kind} path element and the schema header
+// shared by every blob handler. Unknown kinds are 404; a schema skew is
+// 412 (precondition failed), which remote-tier clients read as a clean
+// miss — version skew across a fleet degrades to local work instead of
+// aliasing artifacts across schemas.
+func (s *Server) blobCheck(w http.ResponseWriter, r *http.Request) (kind, key string, ok bool) {
+	kind, key = r.PathValue("kind"), r.PathValue("key")
+	if !explore.ValidArtifactKind(kind) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown blob kind %q", kind))
+		return "", "", false
+	}
+	if h := r.Header.Get(blob.SchemaHeader); h != "" && h != explore.DiskSchema() {
+		w.Header().Set(blob.SchemaHeader, explore.DiskSchema())
+		writeError(w, http.StatusPreconditionFailed,
+			fmt.Errorf("schema mismatch: server %s, request %s", explore.DiskSchema(), h))
+		return "", "", false
+	}
+	return kind, key, true
+}
+
+// blobGet handles GET and HEAD /v1/blobs/{kind}/{key}: the read side of
+// the remote cache tier. Payloads are served from the daemon's local
+// tiers only (memory, disk) — never proxied through its own remote
+// tier, so chained daemons cannot loop. GET responses carry the payload
+// digest for end-to-end verification.
+func (s *Server) blobGet(w http.ResponseWriter, r *http.Request) {
+	kind, key, ok := s.blobCheck(w, r)
+	if !ok {
+		return
+	}
+	eng := s.queue.Engine()
+	if r.Method == http.MethodHead {
+		found, err := eng.BlobStat(kind, key)
+		if err != nil {
+			s.blobErrors.Add(1)
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !found {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set(blob.SchemaHeader, explore.DiskSchema())
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.blobGets.Add(1)
+	data, found, err := eng.BlobGet(kind, key)
+	if err != nil {
+		s.blobErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !found {
+		writeError(w, http.StatusNotFound, fmt.Errorf("blob %s/%s not found", kind, key))
+		return
+	}
+	s.blobHits.Add(1)
+	sum := sha256.Sum256(data)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set(blob.Sha256Header, hex.EncodeToString(sum[:]))
+	w.Header().Set(blob.SchemaHeader, explore.DiskSchema())
+	_, _ = w.Write(data)
+}
+
+// blobPut handles PUT /v1/blobs/{kind}/{key}: the write-through side of
+// the remote tier. The declared digest (when present) is verified before
+// anything is stored, so a truncated upload cannot poison the cache.
+func (s *Server) blobPut(w http.ResponseWriter, r *http.Request) {
+	kind, key, ok := s.blobCheck(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, blob.MaxRemoteBytes))
+	if err != nil {
+		s.blobErrors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading blob body: %w", err))
+		return
+	}
+	if want := r.Header.Get(blob.Sha256Header); want != "" {
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			s.blobErrors.Add(1)
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("blob %s/%s: payload hash mismatch", kind, key))
+			return
+		}
+	}
+	if err := s.queue.Engine().BlobPut(kind, key, body); err != nil {
+		s.blobErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.blobPuts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// blobDelete handles DELETE /v1/blobs/{kind}/{key}; deleting an absent
+// blob succeeds.
+func (s *Server) blobDelete(w http.ResponseWriter, r *http.Request) {
+	kind, key, ok := s.blobCheck(w, r)
+	if !ok {
+		return
+	}
+	if err := s.queue.Engine().BlobDelete(kind, key); err != nil {
+		s.blobErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.blobDeletes.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// stats handles GET /v1/stats, attaching the server's blob-API counters
+// to the queue's snapshot.
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.queue.Stats())
+	v := s.queue.Stats()
+	v.Blobs = BlobStatsView{
+		Gets:    s.blobGets.Load(),
+		Hits:    s.blobHits.Load(),
+		Puts:    s.blobPuts.Load(),
+		Deletes: s.blobDeletes.Load(),
+		Errors:  s.blobErrors.Load(),
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // healthz handles GET /healthz: liveness for load balancers and CI.

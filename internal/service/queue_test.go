@@ -59,8 +59,12 @@ func TestDrainFinishesAcceptedWork(t *testing.T) {
 // queued and running jobs instead of waiting forever.
 func TestDrainTimeoutCancelsOutstanding(t *testing.T) {
 	q := NewQueue(slowEngine(), 1, 0)
-	// An effectively endless search holds the one worker.
-	running, _, err := q.Submit(Request{Kind: KindSearch, N: 16, Budget: 1000000, Seed: 3})
+	// A search at a blocker scale holds the one worker: its first
+	// evaluation sleeps in the source generator well past the drain
+	// deadline, so the search cannot go stale and legitimately finish
+	// before the cancellation lands (a plain n=16 search occasionally
+	// did, flaking this test).
+	running, _, err := q.Submit(Request{Kind: KindSearch, N: blockerScale + 1, Budget: 1000000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +73,7 @@ func TestDrainTimeoutCancelsOutstanding(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("drain: err=%v, want deadline exceeded", err)

@@ -20,8 +20,20 @@
 //	GET    /v1/jobs/{id}   poll one job (result inlined when terminal)
 //	DELETE /v1/jobs/{id}   cancel (mid-run cancellation cuts the job at
 //	                       the next evaluation-batch boundary)
-//	GET    /v1/stats       engine cache + queue + GC counters
+//	GET    /v1/stats       engine cache + queue + GC + blob counters
 //	GET    /healthz        liveness
+//
+// The daemon also exports its local blob tiers (memory + disk) as a
+// remote cache tier for peer engines:
+//
+//	GET    /v1/blobs/{kind}/{key}   fetch an artifact (X-Blob-Sha256
+//	                                digest header; HEAD probes existence)
+//	PUT    /v1/blobs/{kind}/{key}   store an artifact (digest verified
+//	                                when the client declares one)
+//	DELETE /v1/blobs/{kind}/{key}   drop an artifact
+//
+// Peers declare their cache schema via X-Blob-Schema; a mismatch
+// answers 412 so version skew reads as a clean miss, never as data.
 package service
 
 import (
@@ -342,21 +354,32 @@ type JobView struct {
 
 // EngineStatsView is the snake_case mirror of explore.Stats for the
 // stats endpoint: every layer of the staged flow — point, frontend,
-// midend, backend — split into memory hits / disk hits / computed.
+// midend, backend — split into memory hits / disk hits / remote hits /
+// computed, plus the blob-tier health counters (backfills, absorbed
+// errors, disk header misses and corruptions).
 type EngineStatsView struct {
-	PointMemHits     int64 `json:"point_mem_hits"`
-	PointDiskHits    int64 `json:"point_disk_hits"`
-	PointComputed    int64 `json:"point_computed"`
-	FrontendMemHits  int64 `json:"frontend_mem_hits"`
-	FrontendDiskHits int64 `json:"frontend_disk_hits"`
-	FrontendComputed int64 `json:"frontend_computed"`
-	MidendMemHits    int64 `json:"midend_mem_hits"`
-	MidendDiskHits   int64 `json:"midend_disk_hits"`
-	MidendComputed   int64 `json:"midend_computed"`
-	BackendMemHits   int64 `json:"backend_mem_hits"`
-	BackendDiskHits  int64 `json:"backend_disk_hits"`
-	BackendComputed  int64 `json:"backend_computed"`
-	DiskErrors       int64 `json:"disk_errors"`
+	PointMemHits       int64 `json:"point_mem_hits"`
+	PointDiskHits      int64 `json:"point_disk_hits"`
+	PointRemoteHits    int64 `json:"point_remote_hits"`
+	PointComputed      int64 `json:"point_computed"`
+	FrontendMemHits    int64 `json:"frontend_mem_hits"`
+	FrontendDiskHits   int64 `json:"frontend_disk_hits"`
+	FrontendRemoteHits int64 `json:"frontend_remote_hits"`
+	FrontendComputed   int64 `json:"frontend_computed"`
+	MidendMemHits      int64 `json:"midend_mem_hits"`
+	MidendDiskHits     int64 `json:"midend_disk_hits"`
+	MidendRemoteHits   int64 `json:"midend_remote_hits"`
+	MidendComputed     int64 `json:"midend_computed"`
+	BackendMemHits     int64 `json:"backend_mem_hits"`
+	BackendDiskHits    int64 `json:"backend_disk_hits"`
+	BackendRemoteHits  int64 `json:"backend_remote_hits"`
+	BackendComputed    int64 `json:"backend_computed"`
+	MemBackfills       int64 `json:"mem_backfills"`
+	DiskBackfills      int64 `json:"disk_backfills"`
+	DiskErrors         int64 `json:"disk_errors"`
+	RemoteErrors       int64 `json:"remote_errors"`
+	DiskHeaderMisses   int64 `json:"disk_header_misses"`
+	DiskCorruptions    int64 `json:"disk_corruptions"`
 }
 
 // QueueStatsView is the queue's cumulative job accounting.
@@ -391,32 +414,53 @@ type GCStatsView struct {
 	PerKind []KindGCView `json:"per_kind,omitempty"`
 }
 
+// BlobStatsView counts traffic on the daemon's /v1/blobs API — the
+// server side of peers' remote tiers, separate from the engine's own
+// cache counters.
+type BlobStatsView struct {
+	Gets    int64 `json:"gets"`
+	Hits    int64 `json:"hits"`
+	Puts    int64 `json:"puts"`
+	Deletes int64 `json:"deletes"`
+	Errors  int64 `json:"errors"`
+}
+
 // StatsView is the /v1/stats payload: where lookups were served from
-// (the shared caches being the product), the queue counters, and the GC
-// counters, stamped with the cache schema so archived stats are
-// comparable across stage-version bumps.
+// (the shared caches being the product), the blob-API counters, the
+// queue counters, and the GC counters, stamped with the cache schema so
+// archived stats are comparable across stage-version bumps.
 type StatsView struct {
 	CacheSchema   string                `json:"cache_schema"`
 	StageVersions explore.StageVersions `json:"stage_versions"`
 	Engine        EngineStatsView       `json:"engine"`
+	Blobs         BlobStatsView         `json:"blobs"`
 	Queue         QueueStatsView        `json:"queue"`
 	GC            GCStatsView           `json:"gc"`
 }
 
 func engineStatsView(s explore.Stats) EngineStatsView {
 	return EngineStatsView{
-		PointMemHits:     s.PointMemHits,
-		PointDiskHits:    s.PointDiskHits,
-		PointComputed:    s.PointComputed,
-		FrontendMemHits:  s.FrontendMemHits,
-		FrontendDiskHits: s.FrontendDiskHits,
-		FrontendComputed: s.FrontendComputed,
-		MidendMemHits:    s.MidendMemHits,
-		MidendDiskHits:   s.MidendDiskHits,
-		MidendComputed:   s.MidendComputed,
-		BackendMemHits:   s.BackendMemHits,
-		BackendDiskHits:  s.BackendDiskHits,
-		BackendComputed:  s.BackendComputed,
-		DiskErrors:       s.DiskErrors,
+		PointMemHits:       s.PointMemHits,
+		PointDiskHits:      s.PointDiskHits,
+		PointRemoteHits:    s.PointRemoteHits,
+		PointComputed:      s.PointComputed,
+		FrontendMemHits:    s.FrontendMemHits,
+		FrontendDiskHits:   s.FrontendDiskHits,
+		FrontendRemoteHits: s.FrontendRemoteHits,
+		FrontendComputed:   s.FrontendComputed,
+		MidendMemHits:      s.MidendMemHits,
+		MidendDiskHits:     s.MidendDiskHits,
+		MidendRemoteHits:   s.MidendRemoteHits,
+		MidendComputed:     s.MidendComputed,
+		BackendMemHits:     s.BackendMemHits,
+		BackendDiskHits:    s.BackendDiskHits,
+		BackendRemoteHits:  s.BackendRemoteHits,
+		BackendComputed:    s.BackendComputed,
+		MemBackfills:       s.MemBackfills,
+		DiskBackfills:      s.DiskBackfills,
+		DiskErrors:         s.DiskErrors,
+		RemoteErrors:       s.RemoteErrors,
+		DiskHeaderMisses:   s.DiskHeaderMisses,
+		DiskCorruptions:    s.DiskCorruptions,
 	}
 }
