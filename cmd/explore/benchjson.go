@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
 	"sparkgo/internal/report"
 )
 
@@ -92,6 +93,10 @@ type benchReport struct {
 	Runs            []benchRun            `json:"runs"`
 	WarmSpeedup     float64               `json:"warm_speedup"`
 	DiskWarmSpeedup float64               `json:"disk_warm_speedup"`
+	// Metrics is the cumulative observability snapshot across every
+	// regime (stage latency histograms by disposition, tier ops, sim
+	// cycles), keyed by Prometheus series name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // runBenchJSON measures the exploration-cache trajectory — cold, warm
@@ -113,6 +118,11 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 		return err
 	}
 	defer os.RemoveAll(cacheDir)
+
+	// One bus spans every regime's engine, so the snapshot in the report
+	// accumulates the whole trajectory's stage/tier traffic.
+	reg := obs.NewRegistry()
+	bus := obs.NewBus(obs.NewMetrics(reg))
 
 	measure := func(name string, eng *explore.Engine, sp []explore.Config) (benchRun, error) {
 		before := eng.Stats()
@@ -148,7 +158,7 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	}
 
 	// Cold: empty memory cache, no disk.
-	cold := &explore.Engine{Workers: workers, SimTrials: simTrials}
+	cold := &explore.Engine{Workers: workers, SimTrials: simTrials, Obs: bus}
 	rep.Workers = cold.EffectiveWorkers(len(space))
 	coldRun, err := measure("cold", cold, space)
 	if err != nil {
@@ -164,7 +174,7 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	rep.Runs = append(rep.Runs, warmRun)
 
 	// Disk-cold: a fresh engine populates the disk cache.
-	diskCold := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	diskCold := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir, Obs: bus}
 	diskColdRun, err := measure("disk-cold", diskCold, space)
 	if err != nil {
 		return err
@@ -173,7 +183,7 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 
 	// Disk-warm: another fresh engine — a restarted process — is served
 	// from the persisted point cache.
-	diskWarm := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	diskWarm := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir, Obs: bus}
 	diskWarmRun, err := measure("disk-warm", diskWarm, space)
 	if err != nil {
 		return err
@@ -185,7 +195,7 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	// frontend, midend, backend — revive from disk; only the simulator
 	// re-runs. This is the warm pass the per-stage persistence is
 	// asserted on.
-	diskWarmSim := &explore.Engine{Workers: workers, SimTrials: simTrials + 1, CacheDir: cacheDir}
+	diskWarmSim := &explore.Engine{Workers: workers, SimTrials: simTrials + 1, CacheDir: cacheDir, Obs: bus}
 	diskWarmSimRun, err := measure("disk-warm-sim", diskWarmSim, space)
 	if err != nil {
 		return err
@@ -206,7 +216,7 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 		c.ReportNand = 2
 		modelSpace[i] = c
 	}
-	diskWarmModel := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir}
+	diskWarmModel := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir, Obs: bus}
 	diskWarmModelRun, err := measure("disk-warm-model", diskWarmModel, modelSpace)
 	if err != nil {
 		return err
@@ -224,6 +234,7 @@ func runBenchJSON(path, sizeList string, workers, simTrials int) error {
 	if diskWarmRun.Nanos > 0 {
 		rep.DiskWarmSpeedup = float64(coldRun.Nanos) / float64(diskWarmRun.Nanos)
 	}
+	rep.Metrics = reg.Snapshot()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

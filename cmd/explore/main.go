@@ -94,6 +94,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "search RNG seed (same seed, same trajectory)")
 	searchJSON := flag.String("search-json", "", "write the search summary to this JSON file (with -search)")
 	remote := flag.String("remote", "", "ship -sweep/-search jobs to a sparkd daemon at this address instead of running locally")
+	follow := flag.Bool("follow", false, "with -remote: subscribe to the job's live event stream (SSE) and print progress/trajectory lines")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the -sweep/-search run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the -sweep/-search run to this file")
 	flag.Parse()
@@ -127,6 +128,10 @@ func main() {
 
 	if *remote != "" && !*sweep && !*search {
 		fmt.Fprintln(os.Stderr, "-remote requires -sweep or -search (experiments run locally)")
+		os.Exit(1)
+	}
+	if *follow && *remote == "" {
+		fmt.Fprintln(os.Stderr, "-follow streams a daemon job's events and requires -remote")
 		os.Exit(1)
 	}
 	if *remote != "" && *searchJSON != "" {
@@ -182,7 +187,7 @@ func main() {
 	if *search {
 		var err error
 		if *remote != "" {
-			err = runRemoteSearch(ctx, *remote, *strategy, *objective, *n, *budget, *deadline, *seed, printTable)
+			err = runRemoteSearch(ctx, *remote, *strategy, *objective, *n, *budget, *deadline, *seed, *follow, printTable)
 		} else {
 			stopProf, perr := startProfiles(*cpuProfile, *memProfile)
 			if perr != nil {
@@ -208,7 +213,7 @@ func main() {
 	if *sweep {
 		var err error
 		if *remote != "" {
-			err = runRemoteSweep(ctx, *remote, *sizes, *srcFiles, *deadline, printTable)
+			err = runRemoteSweep(ctx, *remote, *sizes, *srcFiles, *deadline, *follow, printTable)
 		} else {
 			stopProf, perr := startProfiles(*cpuProfile, *memProfile)
 			if perr != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"sparkgo/internal/obs"
 	"sparkgo/internal/report"
 	"sparkgo/internal/service"
 )
@@ -22,6 +24,9 @@ import (
 type remoteClient struct {
 	base string // http://host:port
 	http *http.Client
+	// follow streams each submitted job's SSE feed to stderr alongside
+	// the poll loop (the -follow flag).
+	follow bool
 }
 
 func newRemoteClient(addr string) *remoteClient {
@@ -90,6 +95,25 @@ func (c *remoteClient) submitAndWait(ctx context.Context, req service.Request) (
 	} else {
 		fmt.Fprintf(os.Stderr, "remote: job %s submitted\n", job.ID)
 	}
+	var followed chan struct{}
+	if c.follow {
+		followed = make(chan struct{})
+		go func() {
+			defer close(followed)
+			c.followEvents(ctx, job.ID)
+		}()
+	}
+	defer func() {
+		if followed == nil {
+			return
+		}
+		// The stream closes itself on the terminal event; bound the wait
+		// so a wedged connection cannot hold the client open.
+		select {
+		case <-followed:
+		case <-time.After(3 * time.Second):
+		}
+	}()
 	for !job.Status.Terminal() {
 		select {
 		case <-ctx.Done():
@@ -112,6 +136,65 @@ func (c *remoteClient) submitAndWait(ctx context.Context, req service.Request) (
 		return job, fmt.Errorf("remote job %s was canceled", job.ID)
 	}
 	return job, nil
+}
+
+// followEvents consumes GET /v1/jobs/{id}/events and prints each frame
+// as a live line on stderr: lifecycle transitions, per-batch progress,
+// and search trajectory improvements as they are found. It returns when
+// the daemon closes the stream (terminal status) or the context dies.
+// Best-effort by design: a follow failure degrades to plain polling
+// rather than failing the job.
+func (c *remoteClient) followEvents(ctx context.Context, jobID string) {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return
+	}
+	// Not c.http: its 30-second overall timeout is right for API calls
+	// and wrong for a stream that lives as long as the job.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remote: follow: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "remote: follow: HTTP %d\n", resp.StatusCode)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev obs.Event
+			if json.Unmarshal([]byte(data), &ev) == nil {
+				printEventLine(jobID, ev)
+			}
+			data = ""
+		}
+	}
+}
+
+// printEventLine renders one stream event as a human line.
+func printEventLine(jobID string, ev obs.Event) {
+	switch ev.Type {
+	case obs.TypeJob:
+		if ev.Err != "" {
+			fmt.Fprintf(os.Stderr, "remote: [%s] %s: %s\n", jobID, ev.Op, ev.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "remote: [%s] %s\n", jobID, ev.Op)
+		}
+	case obs.TypeProgress:
+		fmt.Fprintf(os.Stderr, "remote: [%s] progress %d/%d\n", jobID, ev.Done, ev.Total)
+	case obs.TypeTrajectory:
+		fmt.Fprintf(os.Stderr, "remote: [%s] eval %d score %.1f latency %d  %s\n",
+			jobID, ev.Evaluation, ev.Score, ev.Cycles, ev.Config)
+	case obs.TypeRound:
+		fmt.Fprintf(os.Stderr, "remote: [%s] round %d complete\n", jobID, ev.Round)
+	}
 }
 
 // abandon best-effort-cancels a remote job the interrupted client will
@@ -165,8 +248,9 @@ func pointTable(title string, pts []service.PointView) *report.Table {
 // -deadline flag maps to the job's hard deadline — the same fail-fast
 // semantics the local sweep gives it.
 func runRemoteSweep(ctx context.Context, addr, sizeList, srcFiles string,
-	deadline time.Duration, printTable func(*report.Table)) error {
+	deadline time.Duration, follow bool, printTable func(*report.Table)) error {
 	c := newRemoteClient(addr)
+	c.follow = follow
 	var reqs []service.Request
 	if srcFiles != "" {
 		for _, path := range strings.Split(srcFiles, ",") {
@@ -227,8 +311,9 @@ func runRemoteSweep(ctx context.Context, addr, sizeList, srcFiles string,
 // local semantics: the search stops gracefully at the deadline and
 // still reports its best design, rather than failing the job.
 func runRemoteSearch(ctx context.Context, addr, strategy, objective string, n, budgetEvals int,
-	deadline time.Duration, seed int64, printTable func(*report.Table)) error {
+	deadline time.Duration, seed int64, follow bool, printTable func(*report.Table)) error {
 	c := newRemoteClient(addr)
+	c.follow = follow
 	job, err := c.submitAndWait(ctx, service.Request{
 		Kind: service.KindSearch, N: n,
 		Strategy: strategy, Objective: objective,

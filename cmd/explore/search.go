@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
 	"sparkgo/internal/report"
 )
 
@@ -53,6 +54,11 @@ type searchReport struct {
 	BestArea      float64               `json:"best_area"`
 	Trajectory    []searchStep          `json:"trajectory"`
 	Cache         benchCacheStat        `json:"cache"`
+	// Metrics is the run's folded observability snapshot (stage latency
+	// histogram counts/sums by disposition, tier ops, sim cycles), keyed
+	// by Prometheus series name — the same numbers sparkd's /metrics
+	// would expose for this work.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // runSearch drives one adaptive search over the default space at scale n
@@ -74,6 +80,8 @@ func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals i
 		return fmt.Errorf("search needs a budget: -budget evaluations and/or -deadline")
 	}
 	eng := &explore.Engine{Workers: workers, SimTrials: simTrials, CacheDir: cacheDir, RemoteCache: remoteCache}
+	reg := obs.NewRegistry()
+	eng.Obs = obs.NewBus(obs.NewMetrics(reg))
 	budget := explore.Budget{MaxEvaluations: budgetEvals, MaxDuration: deadline}
 
 	start := time.Now()
@@ -139,7 +147,8 @@ func runSearch(ctx context.Context, strategy, objective string, n, budgetEvals i
 			Exhausted: res.Exhausted, BestScore: res.BestScore,
 			BestConfig:  res.Best.Config.String(),
 			BestLatency: res.Best.Latency, BestArea: res.Best.Area,
-			Cache: benchStat(stats),
+			Cache:   benchStat(stats),
+			Metrics: reg.Snapshot(),
 		}
 		for _, s := range res.Trajectory {
 			rep.Trajectory = append(rep.Trajectory, searchStep{

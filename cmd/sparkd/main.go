@@ -31,12 +31,16 @@
 //	POST   /v1/jobs                  {"kind":"synth"|"sweep"|"search", ...}
 //	GET    /v1/jobs                  list
 //	GET    /v1/jobs/{id}             poll; terminal jobs carry results inline
+//	GET    /v1/jobs/{id}/events      live event stream (SSE): lifecycle,
+//	                                 progress, search trajectory
 //	DELETE /v1/jobs/{id}             cancel
 //	GET    /v1/blobs/{kind}/{key}    raw artifact bytes (HEAD probes presence)
 //	PUT    /v1/blobs/{kind}/{key}    store artifact (digest-verified)
 //	DELETE /v1/blobs/{kind}/{key}    purge artifact
-//	GET    /v1/stats                 cache/blob/queue/GC counters + cache schema
-//	GET    /healthz                  liveness
+//	GET    /v1/stats                 cache/blob/queue/GC/event counters + schema
+//	GET    /metrics                  Prometheus text exposition (stage latency,
+//	                                 cache tiers, sim cycles, job lifecycle)
+//	GET    /healthz                  liveness (JSON: uptime, build identity)
 package main
 
 import (
@@ -54,6 +58,7 @@ import (
 	"time"
 
 	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
 	"sparkgo/internal/service"
 )
 
@@ -88,6 +93,9 @@ func main() {
 func run(addr, addrFile string, workers, engineWorkers, sim int, cacheDir string,
 	cacheMaxBytes int64, remoteCache string, drainTimeout time.Duration) error {
 	eng := &explore.Engine{Workers: engineWorkers, SimTrials: sim, CacheDir: cacheDir, RemoteCache: remoteCache}
+	// The bus must be attached before the queue starts workers: it feeds
+	// /metrics and every job's SSE stream.
+	eng.Obs = obs.NewBus(obs.NewMetrics(obs.NewRegistry()))
 	queue := service.NewQueue(eng, effectiveWorkers(workers), cacheMaxBytes)
 	// Header/idle timeouts shed half-open and idle connections; no
 	// blanket write timeout, since job polls legitimately stream large

@@ -3,6 +3,8 @@ package blob
 import (
 	"sync"
 	"sync/atomic"
+
+	"sparkgo/internal/obs"
 )
 
 // Tier is one layer of a Tiered store, fastest first. WriteThrough
@@ -62,8 +64,23 @@ type Tiered struct {
 	tiers []Tier
 	stats []*tierCounters
 
+	// Obs, when set before first use, receives one TypeTier event per
+	// tier operation (hit/miss/error/backfill/put/put_error).
+	Obs *obs.Bus
+
 	mu      sync.Mutex
 	flights map[string]*flight
+}
+
+func (t *Tiered) observe(tier, op, kind string, err error) {
+	if !t.Obs.Active() {
+		return
+	}
+	ev := obs.Event{Type: obs.TypeTier, Tier: tier, Op: op, Kind: kind}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	t.Obs.Publish(ev)
 }
 
 // NewTiered builds a tiered store over tiers ordered fastest first.
@@ -136,21 +153,26 @@ func (t *Tiered) lookup(kind, key string) ([]byte, int) {
 		data, ok, err := t.tiers[i].Store.Get(kind, key)
 		if err != nil {
 			t.stats[i].errors.Add(1)
+			t.observe(t.tiers[i].Name, "error", kind, err)
 			continue
 		}
 		if !ok {
 			t.stats[i].misses.Add(1)
+			t.observe(t.tiers[i].Name, "miss", kind, nil)
 			continue
 		}
 		t.stats[i].hits.Add(1)
+		t.observe(t.tiers[i].Name, "hit", kind, nil)
 		for j := 0; j < i; j++ {
 			if !t.tiers[j].Backfill {
 				continue
 			}
 			if err := t.tiers[j].Store.Put(kind, key, data); err != nil {
 				t.stats[j].putErrors.Add(1)
+				t.observe(t.tiers[j].Name, "put_error", kind, err)
 			} else {
 				t.stats[j].backfills.Add(1)
+				t.observe(t.tiers[j].Name, "backfill", kind, nil)
 			}
 		}
 		return data, i
@@ -168,11 +190,13 @@ func (t *Tiered) putThrough(kind, key string, payload []byte) error {
 		}
 		if err := t.tiers[i].Store.Put(kind, key, payload); err != nil {
 			t.stats[i].putErrors.Add(1)
+			t.observe(t.tiers[i].Name, "put_error", kind, err)
 			if firstErr == nil {
 				firstErr = err
 			}
 		} else {
 			t.stats[i].puts.Add(1)
+			t.observe(t.tiers[i].Name, "put", kind, nil)
 		}
 	}
 	return firstErr

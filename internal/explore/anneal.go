@@ -112,6 +112,7 @@ func (a SimulatedAnnealing) SearchContext(ctx context.Context, eng *Engine, sp S
 			}
 		}
 		run.result.Restarts = anneal + 1
+		run.round(anneal + 1)
 		if run.result.Evaluations == before {
 			stale++
 		} else {

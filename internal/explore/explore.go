@@ -43,6 +43,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sparkgo/internal/blob"
 	"sparkgo/internal/cache"
@@ -50,6 +51,7 @@ import (
 	"sparkgo/internal/delay"
 	"sparkgo/internal/interp"
 	"sparkgo/internal/ir"
+	"sparkgo/internal/obs"
 	"sparkgo/internal/rtl"
 	"sparkgo/internal/rtlsim"
 )
@@ -293,6 +295,11 @@ type Engine struct {
 	// MemCacheBytes bounds the in-memory blob tier
 	// (0 = blob.DefaultMemBytes).
 	MemCacheBytes int64
+	// Obs, when set before the engine's first use, receives one span
+	// event per stage-cache lookup (duration + disposition), one event
+	// per simulation, and the blob store's tier traffic. A nil bus
+	// costs nothing: instrumentation sites skip timing entirely.
+	Obs *obs.Bus
 
 	mu sync.Mutex
 	// sources memoizes resolved programs and their fingerprints per
@@ -360,6 +367,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, c Config) Point {
 		return Point{Config: c, Err: err.Error()}
 	}
 	pk := e.pointKey(c, src.fingerprint)
+	start := e.stageStart()
 	compute := func() ([]byte, any, error) {
 		pt := e.synthesize(ctx, c, src)
 		e.pointComputed.Add(1)
@@ -380,6 +388,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, c Config) Point {
 			if res.Shared {
 				e.pointMemHits.Add(1)
 			}
+			e.observeStage(kindPoint, start, res)
 			return *res.Obj.(*Point)
 		}
 		pt, derr := decodePoint(res.Data)
@@ -397,9 +406,11 @@ func (e *Engine) EvaluateContext(ctx context.Context, c Config) Point {
 			}
 			pt := e.synthesize(ctx, c, src)
 			e.pointComputed.Add(1)
+			e.observeStageComputed(kindPoint, start)
 			return pt
 		}
 		countHit(res, &e.pointMemHits, &e.pointDiskHits, &e.pointRemoteHits)
+		e.observeStage(kindPoint, start, res)
 		return *pt
 	}
 }
@@ -601,10 +612,18 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 			pt.Err = err.Error()
 			return pt
 		}
+		simStart := e.stageStart()
 		lat, err := e.simulate(ctx, src, mod, c)
 		if err != nil {
 			pt.Err = err.Error()
 			return pt
+		}
+		if !simStart.IsZero() {
+			e.Obs.Publish(obs.Event{
+				Type:       obs.TypeSim,
+				Cycles:     lat,
+				DurationNs: time.Since(simStart).Nanoseconds(),
+			})
 		}
 		pt.Latency = lat
 	}

@@ -124,6 +124,7 @@ func (g Genetic) SearchContext(ctx context.Context, eng *Engine, sp Space, obj O
 			break     // budget (or cancellation) cut the whole generation
 		}
 		run.result.Generations = gen + 1
+		run.round(gen + 1)
 		if run.result.Evaluations == before {
 			stale++
 		} else {

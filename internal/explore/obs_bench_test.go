@@ -1,0 +1,34 @@
+package explore_test
+
+import (
+	"testing"
+
+	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
+)
+
+// The acceptance gate for the observability layer: a warm sweep on an
+// instrumented engine with no subscriber attached must sit within
+// noise of the uninstrumented (nil-bus) baseline. Compare:
+//
+//	go test -run=NONE -bench=BenchmarkSweepWarm ./internal/explore
+func benchmarkSweepWarm(b *testing.B, bus *obs.Bus) {
+	eng := &explore.Engine{Workers: 1, SimTrials: 2, Obs: bus}
+	space := explore.Grid([]int{3, 4}, explore.Variants(), []int{0}, true)
+	if pts := eng.Sweep(space); len(pts) != len(space) {
+		b.Fatal("warmup sweep failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Sweep(space)
+	}
+}
+
+func BenchmarkSweepWarmObsOff(b *testing.B) {
+	benchmarkSweepWarm(b, nil)
+}
+
+func BenchmarkSweepWarmObsNoSubscribers(b *testing.B) {
+	benchmarkSweepWarm(b, obs.NewBus(obs.NewMetrics(obs.NewRegistry())))
+}

@@ -1,0 +1,139 @@
+package explore_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sparkgo/internal/core"
+	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
+)
+
+// TestSearchObserverCallbacks: an observer attached via context
+// receives per-batch evaluation counts, every trajectory improvement
+// as it is found, and outer-round boundaries — for every strategy,
+// without perturbing the seed-deterministic trajectory.
+func TestSearchObserverCallbacks(t *testing.T) {
+	sp := explore.Space{
+		Base:           explore.Config{N: 2, Preset: core.MicroprocessorBlock},
+		Prologue:       []string{"inline", "drop-uncalled"},
+		Motions:        []string{"constprop", "cse"},
+		Epilogue:       []string{"dce"},
+		ToggleMotions:  true,
+		ToggleChaining: true,
+	}
+	budget := explore.Budget{MaxEvaluations: 12}
+	for _, st := range append(searchStrategies(), explore.SimulatedAnnealing{}) {
+		baseline := st.Search(&explore.Engine{}, sp, explore.LatencyObjective(), budget, 7)
+
+		var batches []int
+		var steps []explore.Step
+		rounds := 0
+		ctx := explore.WithSearchObserver(context.Background(), &explore.SearchObserver{
+			OnBatch:       func(evals int) { batches = append(batches, evals) },
+			OnImprovement: func(s explore.Step) { steps = append(steps, s) },
+			OnRound:       func(int) { rounds++ },
+		})
+		res := st.SearchContext(ctx, &explore.Engine{}, sp, explore.LatencyObjective(), budget, 7)
+
+		if !reflect.DeepEqual(res.Trajectory, baseline.Trajectory) {
+			t.Errorf("%s: observer changed the trajectory", st.Name())
+		}
+		if len(batches) == 0 {
+			t.Fatalf("%s: OnBatch never fired", st.Name())
+		}
+		for i := 1; i < len(batches); i++ {
+			if batches[i] < batches[i-1] {
+				t.Errorf("%s: batch evaluations not monotonic: %v", st.Name(), batches)
+				break
+			}
+		}
+		if got := batches[len(batches)-1]; got != res.Evaluations {
+			t.Errorf("%s: last OnBatch = %d, result evaluations = %d", st.Name(), got, res.Evaluations)
+		}
+		if !reflect.DeepEqual(steps, res.Trajectory) {
+			t.Errorf("%s: OnImprovement steps %v != trajectory %v", st.Name(), steps, res.Trajectory)
+		}
+		if rounds == 0 {
+			t.Errorf("%s: OnRound never fired", st.Name())
+		}
+	}
+}
+
+// TestEngineStageEvents: an engine with a bus attached publishes stage
+// spans with the right dispositions (computed on a cold evaluation, a
+// memory hit on the repeat), tier traffic, and a simulation event —
+// and the folded metrics agree.
+func TestEngineStageEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	bus := obs.NewBus(obs.NewMetrics(reg))
+	eng := &explore.Engine{SimTrials: 4, Obs: bus}
+	sub := bus.Subscribe(1024)
+
+	cfg := explore.Config{N: 2, Preset: core.MicroprocessorBlock}
+	if pt := eng.Evaluate(cfg); pt.Err != "" {
+		t.Fatalf("cold evaluation failed: %s", pt.Err)
+	}
+	if pt := eng.Evaluate(cfg); pt.Err != "" {
+		t.Fatalf("warm evaluation failed: %s", pt.Err)
+	}
+	bus.Unsubscribe(sub)
+
+	byKey := map[string]int{}
+	for ev := range sub.C {
+		switch ev.Type {
+		case obs.TypeStage:
+			if ev.DurationNs < 0 {
+				t.Errorf("negative stage duration: %+v", ev)
+			}
+			byKey[ev.Type+"/"+ev.Stage+"/"+ev.Disposition]++
+		case obs.TypeSim:
+			if ev.Cycles <= 0 {
+				t.Errorf("sim event without cycles: %+v", ev)
+			}
+			byKey["sim"]++
+		case obs.TypeTier:
+			byKey["tier/"+ev.Tier+"/"+ev.Op]++
+		}
+	}
+	for _, want := range []string{
+		"stage/frontend/computed",
+		"stage/midend/computed",
+		"stage/backend/computed",
+		"stage/point/computed",
+		"stage/point/mem",
+		"sim",
+		"tier/mem/miss",
+		"tier/mem/hit",
+		"tier/mem/put",
+	} {
+		if byKey[want] == 0 {
+			t.Errorf("no %q event; saw %v", want, byKey)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap[`sparkgo_stage_latency_seconds_count{disposition="computed",stage="frontend"}`] < 1 {
+		t.Error("metrics missing computed frontend stage latency")
+	}
+	if snap[`sparkgo_stage_latency_seconds_count{disposition="mem",stage="point"}`] < 1 {
+		t.Error("metrics missing point memory hit latency")
+	}
+	if snap[`sparkgo_cache_tier_ops_total{op="hit",tier="mem"}`] < 1 {
+		t.Error("metrics missing mem tier hits")
+	}
+	if snap["sparkgo_sim_cycles_count"] < 1 {
+		t.Error("metrics missing sim cycles")
+	}
+}
+
+// TestEngineNilBusNoEvents: the uninstrumented engine must work
+// exactly as before — this is the nil-bus fast path compiled into
+// every instrumentation site.
+func TestEngineNilBusNoEvents(t *testing.T) {
+	eng := &explore.Engine{SimTrials: 2}
+	if pt := eng.Evaluate(explore.Config{N: 2, Preset: core.MicroprocessorBlock}); pt.Err != "" {
+		t.Fatalf("evaluation failed: %s", pt.Err)
+	}
+}

@@ -148,6 +148,37 @@ func StrategyByName(name string) (Strategy, error) {
 	return nil, fmt.Errorf("explore: unknown strategy %q (want hill, genetic, or anneal)", name)
 }
 
+// SearchObserver receives live callbacks from a running search. All
+// strategies route their evaluations through the shared searchRun, so
+// one observer covers hill climbing, genetic, and annealing alike.
+// Callbacks fire on the strategy's own goroutine between evaluation
+// batches: they must be fast and must not call back into the search.
+// Observation never changes the search itself — trajectories stay
+// seed-deterministic with or without an observer attached.
+type SearchObserver struct {
+	// OnBatch fires after each evaluation batch with the cumulative
+	// number of distinct configurations evaluated so far.
+	OnBatch func(evaluations int)
+	// OnImprovement fires for each strict improvement, as it is found.
+	OnImprovement func(step Step)
+	// OnRound fires after each completed outer round (hill-climb
+	// restart, genetic generation, annealing epoch), 1-based.
+	OnRound func(round int)
+}
+
+type searchObserverKey struct{}
+
+// WithSearchObserver attaches an observer to a context; any strategy's
+// SearchContext under that context reports to it.
+func WithSearchObserver(ctx context.Context, o *SearchObserver) context.Context {
+	return context.WithValue(ctx, searchObserverKey{}, o)
+}
+
+func searchObserverFrom(ctx context.Context) *SearchObserver {
+	o, _ := ctx.Value(searchObserverKey{}).(*SearchObserver)
+	return o
+}
+
 // searchRun is the budget-aware evaluator shared by the strategies: it
 // lowers candidates to configs, dedups exact revisits, batches fresh
 // configs through the engine's worker pool, and keeps the best-so-far
@@ -161,19 +192,28 @@ type searchRun struct {
 	budget   Budget
 	deadline time.Time
 	seen     map[string]float64
+	observer *SearchObserver
 	result   Result
 }
 
 func newSearchRun(ctx context.Context, eng *Engine, sp *Space, obj Objective, b Budget, name string, seed int64) *searchRun {
 	r := &searchRun{
 		ctx: ctx, eng: eng, sp: sp, obj: obj, budget: b,
-		seen:   map[string]float64{},
-		result: Result{Strategy: name, Seed: seed, BestScore: math.Inf(1)},
+		seen:     map[string]float64{},
+		observer: searchObserverFrom(ctx),
+		result:   Result{Strategy: name, Seed: seed, BestScore: math.Inf(1)},
 	}
 	if b.MaxDuration > 0 {
 		r.deadline = time.Now().Add(b.MaxDuration)
 	}
 	return r
+}
+
+// round reports a completed outer round to the observer.
+func (r *searchRun) round(n int) {
+	if r.observer != nil && r.observer.OnRound != nil {
+		r.observer.OnRound(n)
+	}
 }
 
 // out reports whether the budget is spent or the context is done. The
@@ -271,10 +311,15 @@ func (r *searchRun) scores(cands []candidate) (scores []float64, ok []bool) {
 			if s < r.result.BestScore {
 				r.result.BestScore = s
 				r.result.Best = pt
-				r.result.Trajectory = append(r.result.Trajectory, Step{
-					Evaluation: r.result.Evaluations, Score: s, Point: pt,
-				})
+				step := Step{Evaluation: r.result.Evaluations, Score: s, Point: pt}
+				r.result.Trajectory = append(r.result.Trajectory, step)
+				if r.observer != nil && r.observer.OnImprovement != nil {
+					r.observer.OnImprovement(step)
+				}
 			}
+		}
+		if r.observer != nil && r.observer.OnBatch != nil {
+			r.observer.OnBatch(r.result.Evaluations)
 		}
 		// Resolve the in-batch duplicates left unscored above.
 		for i := range cands {
@@ -360,6 +405,7 @@ func (h HillClimb) SearchContext(ctx context.Context, eng *Engine, sp Space, obj
 			cur, curScore = neigh[best], bestScore
 		}
 		run.result.Restarts = restart + 1
+		run.round(restart + 1)
 		if run.result.Evaluations == before {
 			stale++
 		} else {

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sparkgo/internal/blob"
 	"sparkgo/internal/cache"
 	"sparkgo/internal/core"
 	"sparkgo/internal/ild"
 	"sparkgo/internal/ir"
+	"sparkgo/internal/obs"
 	"sparkgo/internal/pass"
 )
 
@@ -121,6 +123,7 @@ func (e *Engine) blobStack() *blob.Tiered {
 			}
 		}
 		e.localBlobs = blob.NewTiered(local...)
+		e.localBlobs.Obs = e.Obs
 		if e.RemoteCache == "" {
 			e.blobs = e.localBlobs
 			return
@@ -129,6 +132,7 @@ func (e *Engine) blobStack() *blob.Tiered {
 		all := append(local[:len(local):len(local)],
 			blob.Tier{Name: TierRemote, Store: remote, WriteThrough: true, Backfill: false})
 		e.blobs = blob.NewTiered(all...)
+		e.blobs.Obs = e.Obs
 	})
 	return e.blobs
 }
@@ -195,6 +199,62 @@ func countHit(res blob.DoResult, mem, disk, remote *atomic.Int64) {
 	case res.Tier == TierRemote:
 		remote.Add(1)
 	}
+}
+
+// stageStart opens a stage span: the wall-clock start when a bus is
+// attached, the zero time otherwise — so an uninstrumented engine pays
+// neither the clock read nor the event construction (the nil-bus fast
+// path the observability layer promises).
+func (e *Engine) stageStart() time.Time {
+	if e.Obs.Active() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// disposition classifies how a blob lookup was served, mirroring
+// countHit but preserving the shared/computed distinction.
+func disposition(res blob.DoResult) string {
+	switch {
+	case res.Shared:
+		return obs.DispShared
+	case res.Obj != nil:
+		return obs.DispComputed
+	case res.Tier == TierMem:
+		return obs.DispMem
+	case res.Tier == TierDisk:
+		return obs.DispDisk
+	case res.Tier == TierRemote:
+		return obs.DispRemote
+	}
+	return obs.DispComputed
+}
+
+// observeStage closes a stage span opened by stageStart.
+func (e *Engine) observeStage(stage string, start time.Time, res blob.DoResult) {
+	if start.IsZero() {
+		return
+	}
+	e.Obs.Publish(obs.Event{
+		Type:        obs.TypeStage,
+		Stage:       stage,
+		Disposition: disposition(res),
+		DurationNs:  time.Since(start).Nanoseconds(),
+	})
+}
+
+// observeStageComputed closes a span for the uncached compute paths
+// (unkeyable artifacts, purge-and-recompute fallbacks).
+func (e *Engine) observeStageComputed(stage string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	e.Obs.Publish(obs.Event{
+		Type:        obs.TypeStage,
+		Stage:       stage,
+		Disposition: obs.DispComputed,
+		DurationNs:  time.Since(start).Nanoseconds(),
+	})
 }
 
 // sourceEntry memoizes one resolved source program and its content
@@ -277,10 +337,15 @@ func (e *Engine) resolveSource(c Config) (*sourceEntry, error) {
 // keeps a context-cancelled run from poisoning the cache.
 func (e *Engine) frontend(ctx context.Context, src *sourceEntry, o core.FrontendOptions) (*core.FrontendArtifact, error) {
 	key := core.FrontendKeyFrom(src.fingerprint, o)
+	start := e.stageStart()
 	if key == "" {
 		// Opaque custom passes: nothing stable to key on.
 		e.frontendComputed.Add(1)
-		return core.FrontendContext(ctx, src.prog, o)
+		fa, err := core.FrontendContext(ctx, src.prog, o)
+		if err == nil {
+			e.observeStageComputed(kindFrontend, start)
+		}
+		return fa, err
 	}
 	compute := func() ([]byte, any, error) {
 		fa, err := core.FrontendContext(ctx, src.prog, o)
@@ -319,6 +384,7 @@ func (e *Engine) frontend(ctx context.Context, src *sourceEntry, o core.Frontend
 			if res.Shared {
 				e.frontendMemHits.Add(1)
 			}
+			e.observeStage(kindFrontend, start, res)
 			return res.Obj.(*core.FrontendArtifact), nil
 		}
 		fb, derr := decodeFrontendBlob(res.Data)
@@ -334,6 +400,7 @@ func (e *Engine) frontend(ctx context.Context, src *sourceEntry, o core.Frontend
 			return nil, derr
 		}
 		countHit(res, &e.frontendMemHits, &e.frontendDiskHits, &e.frontendRemoteHits)
+		e.observeStage(kindFrontend, start, res)
 		fa := core.ReviveFrontendArtifact(fb.Program)
 		fa.Source = fb.Source
 		fa.Fingerprint = fb.Fingerprint
@@ -369,11 +436,16 @@ type frontendBlob struct {
 // the backend stage misses its own caches.
 func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.MidendOptions) (*core.MidendArtifact, error) {
 	key := core.MidendKey(fa, o)
+	start := e.stageStart()
 	if key == "" {
 		// Unmaterialized frontend (opaque custom passes): nothing stable
 		// to key on.
 		e.midendComputed.Add(1)
-		return core.MidendContext(ctx, fa, o)
+		ma, err := core.MidendContext(ctx, fa, o)
+		if err == nil {
+			e.observeStageComputed(kindMidend, start)
+		}
+		return ma, err
 	}
 	compute := func() ([]byte, any, error) {
 		ma, err := core.MidendContext(ctx, fa, o)
@@ -401,6 +473,7 @@ func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.M
 			if res.Shared {
 				e.midendMemHits.Add(1)
 			}
+			e.observeStage(kindMidend, start, res)
 			return res.Obj.(*core.MidendArtifact), nil
 		}
 		mb, derr := decodeMidendBlob(res.Data)
@@ -413,6 +486,7 @@ func (e *Engine) midend(ctx context.Context, fa *core.FrontendArtifact, o core.M
 			return nil, derr
 		}
 		countHit(res, &e.midendMemHits, &e.midendDiskHits, &e.midendRemoteHits)
+		e.observeStage(kindMidend, start, res)
 		ma := core.ReviveMidendArtifact(mb.Schedule, mb.Cycles)
 		ma.Fingerprint = mb.Fingerprint
 		ma.Key = key
@@ -442,9 +516,14 @@ type midendBlob struct {
 // (Mod), and only when SimTrials asks for it.
 func (e *Engine) backend(ctx context.Context, ma *core.MidendArtifact, o core.BackendOptions) (*core.BackendArtifact, error) {
 	key := core.BackendKey(ma, o)
+	start := e.stageStart()
 	if key == "" {
 		e.backendComputed.Add(1)
-		return core.BackendContext(ctx, ma, o)
+		ba, err := core.BackendContext(ctx, ma, o)
+		if err == nil {
+			e.observeStageComputed(kindBackend, start)
+		}
+		return ba, err
 	}
 	compute := func() ([]byte, any, error) {
 		ba, err := core.BackendContext(ctx, ma, o)
@@ -472,6 +551,7 @@ func (e *Engine) backend(ctx context.Context, ma *core.MidendArtifact, o core.Ba
 			if res.Shared {
 				e.backendMemHits.Add(1)
 			}
+			e.observeStage(kindBackend, start, res)
 			return res.Obj.(*core.BackendArtifact), nil
 		}
 		bb, derr := decodeBackendBlob(res.Data)
@@ -488,6 +568,7 @@ func (e *Engine) backend(ctx context.Context, ma *core.MidendArtifact, o core.Ba
 			return nil, derr
 		}
 		countHit(res, &e.backendMemHits, &e.backendDiskHits, &e.backendRemoteHits)
+		e.observeStage(kindBackend, start, res)
 		ba.Fingerprint = bb.Fingerprint
 		ba.Key = key
 		return ba, nil

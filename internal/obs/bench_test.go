@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// The publish fast paths: a nil bus must cost ~nothing (the
+// instrumented call sites guard on Active() before even building an
+// event, so this bounds the worst case of a guard miss), and a bus
+// with no subscribers must stay allocation-free.
+
+func BenchmarkPublishNilBus(b *testing.B) {
+	var bus *Bus
+	ev := Event{Type: TypeStage, Stage: "point", Disposition: DispMem, DurationNs: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+func BenchmarkPublishNoSubscribers(b *testing.B) {
+	bus := NewBus(nil)
+	ev := Event{Type: TypeStage, Stage: "point", Disposition: DispMem, DurationNs: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+func BenchmarkPublishMetricsFold(b *testing.B) {
+	bus := NewBus(NewMetrics(NewRegistry()))
+	ev := Event{Type: TypeStage, Stage: "point", Disposition: DispMem, DurationNs: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+func BenchmarkPublishOneSubscriber(b *testing.B) {
+	bus := NewBus(nil)
+	s := bus.Subscribe(1024)
+	done := make(chan struct{})
+	go func() {
+		for range s.C {
+		}
+		close(done)
+	}()
+	ev := Event{Type: TypeTier, Tier: "mem", Op: "hit"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+	b.StopTimer()
+	bus.Unsubscribe(s)
+	<-done
+}

@@ -1,0 +1,221 @@
+// Package obs is the engine-wide observability plane: a typed event
+// bus carrying structured span events from every layer of the system
+// (stage cache lookups, blob tier traffic, queue lifecycle, search
+// trajectories) plus a dependency-free metrics registry rendered in
+// Prometheus text exposition format.
+//
+// The package is a leaf: it imports only the standard library, so the
+// blob store, the exploration engine, and the service layer can all
+// publish to one bus without import cycles.
+//
+// Cost model: a nil *Bus is a valid bus and every method on it is a
+// no-op, so instrumentation sites guard with Active() before paying
+// for time.Now() or event construction. With a bus attached but no
+// subscribers, Publish folds the event into the attached Metrics
+// (a handful of atomic ops) and returns without taking the subscriber
+// lock — the hot path never blocks on a consumer.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types. An Event is a flat union: which fields are meaningful
+// depends on Type, and zero-valued fields are omitted from JSON.
+const (
+	// TypeStage is a completed stage-cache lookup (frontend, midend,
+	// backend, point) with its duration and cache disposition.
+	TypeStage = "stage"
+	// TypeSim is a completed netlist simulation with its measured
+	// cycle count.
+	TypeSim = "sim"
+	// TypeTier is a single blob-store tier operation
+	// (hit/miss/error/backfill/put/put_error).
+	TypeTier = "tier"
+	// TypeJob is a queue lifecycle transition
+	// (submitted/coalesced/started/done/failed/canceled).
+	TypeJob = "job"
+	// TypeProgress is a unit-of-work progress update for a running job.
+	TypeProgress = "progress"
+	// TypeTrajectory is a strict-improvement step found by an adaptive
+	// search.
+	TypeTrajectory = "trajectory"
+	// TypeRound is an outer-loop boundary of an adaptive search
+	// (hill-climb restart, genetic generation, annealing epoch).
+	TypeRound = "round"
+)
+
+// Stage-cache dispositions carried by TypeStage events. The mem, disk,
+// and remote dispositions name the tier that served the artifact;
+// computed means the leader ran the stage; shared means a concurrent
+// waiter received the leader's in-memory artifact.
+const (
+	DispMem      = "mem"
+	DispDisk     = "disk"
+	DispRemote   = "remote"
+	DispComputed = "computed"
+	DispShared   = "shared"
+)
+
+// Event is one structured observation. Events are small value types:
+// they are copied onto subscriber channels, never shared.
+type Event struct {
+	Seq         uint64  `json:"seq"`
+	TimeNs      int64   `json:"time_ns"`
+	Type        string  `json:"type"`
+	Job         string  `json:"job,omitempty"`
+	Stage       string  `json:"stage,omitempty"`
+	Disposition string  `json:"disposition,omitempty"`
+	Tier        string  `json:"tier,omitempty"`
+	Op          string  `json:"op,omitempty"`
+	Kind        string  `json:"kind,omitempty"`
+	DurationNs  int64   `json:"duration_ns,omitempty"`
+	Cycles      int     `json:"cycles,omitempty"`
+	Done        int     `json:"done,omitempty"`
+	Total       int     `json:"total,omitempty"`
+	Evaluation  int     `json:"evaluation,omitempty"`
+	Round       int     `json:"round,omitempty"`
+	Score       float64 `json:"score,omitempty"`
+	Config      string  `json:"config,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// Sub is one bus subscription. Events are delivered on C; when the
+// subscriber falls behind its buffer, events are dropped (counted per
+// subscriber and bus-wide) rather than blocking the publisher.
+type Sub struct {
+	C       <-chan Event
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// Dropped reports how many events were discarded because this
+// subscriber's buffer was full.
+func (s *Sub) Dropped() int64 { return s.dropped.Load() }
+
+// Bus is the engine-wide event bus. The zero value is not usable; use
+// NewBus. A nil *Bus is valid and inert.
+type Bus struct {
+	metrics *Metrics
+
+	seq       atomic.Uint64
+	published atomic.Int64
+	dropped   atomic.Int64
+	nsubs     atomic.Int32
+
+	mu   sync.Mutex
+	subs map[*Sub]struct{}
+}
+
+// NewBus returns a bus that folds every published event into m
+// (which may be nil for a pure pub/sub bus).
+func NewBus(m *Metrics) *Bus {
+	return &Bus{metrics: m, subs: make(map[*Sub]struct{})}
+}
+
+// Active reports whether events published to b go anywhere.
+// Instrumentation sites use it to skip timing and event construction
+// entirely when no bus is attached.
+func (b *Bus) Active() bool { return b != nil }
+
+// Metrics returns the metrics sink attached at construction, or nil.
+func (b *Bus) Metrics() *Metrics {
+	if b == nil {
+		return nil
+	}
+	return b.metrics
+}
+
+// Registry returns the metrics registry behind the bus, or nil.
+func (b *Bus) Registry() *Registry {
+	if b == nil || b.metrics == nil {
+		return nil
+	}
+	return b.metrics.Registry()
+}
+
+// Publish stamps ev with a sequence number and timestamp, folds it
+// into the attached metrics, and fans it out to subscribers without
+// blocking: a subscriber with a full buffer loses the event, not the
+// publisher.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	if ev.TimeNs == 0 {
+		ev.TimeNs = time.Now().UnixNano()
+	}
+	b.published.Add(1)
+	if b.metrics != nil {
+		b.metrics.fold(ev)
+	}
+	if b.nsubs.Load() == 0 {
+		return
+	}
+	b.mu.Lock()
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (minimum 1). The caller must eventually Unsubscribe.
+func (b *Bus) Subscribe(buffer int) *Sub {
+	if b == nil {
+		return nil
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Sub{ch: make(chan Event, buffer)}
+	s.C = s.ch
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	b.nsubs.Add(1)
+	return s
+}
+
+// Unsubscribe removes s and closes its channel. Safe to call on a nil
+// bus or nil sub, and idempotent.
+func (b *Bus) Unsubscribe(s *Sub) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.Lock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		b.nsubs.Add(-1)
+		close(s.ch)
+	}
+	b.mu.Unlock()
+}
+
+// BusStats is a point-in-time snapshot of bus traffic.
+type BusStats struct {
+	Published   int64 `json:"published"`
+	Dropped     int64 `json:"dropped"`
+	Subscribers int   `json:"subscribers"`
+}
+
+// Stats snapshots bus counters. Valid on a nil bus.
+func (b *Bus) Stats() BusStats {
+	if b == nil {
+		return BusStats{}
+	}
+	return BusStats{
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+		Subscribers: int(b.nsubs.Load()),
+	}
+}

@@ -8,19 +8,27 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"sparkgo/internal/blob"
 	"sparkgo/internal/explore"
 )
 
+// errStreamingUnsupported is answered when the transport cannot flush —
+// SSE needs an http.Flusher.
+var errStreamingUnsupported = errors.New("service: response writer does not support streaming")
+
 // Server wires the queue to the HTTP API cmd/sparkd serves. Use
 // NewServer and mount the handler; job payloads are JSON, blob payloads
 // raw bytes.
 type Server struct {
-	queue *Queue
-	mux   *http.ServeMux
+	queue   *Queue
+	mux     *http.ServeMux
+	started time.Time
 
 	// Blob-API traffic counters (the server side of peers' remote
 	// tiers), snapshotted into /v1/stats.
@@ -33,16 +41,18 @@ type Server struct {
 
 // NewServer builds the HTTP front end over a queue.
 func NewServer(q *Queue) *Server {
-	s := &Server{queue: q, mux: http.NewServeMux()}
+	s := &Server{queue: q, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	// "GET" patterns also match HEAD (presence probe without the body).
 	s.mux.HandleFunc("GET /v1/blobs/{kind}/{key}", s.blobGet)
 	s.mux.HandleFunc("PUT /v1/blobs/{kind}/{key}", s.blobPut)
 	s.mux.HandleFunc("DELETE /v1/blobs/{kind}/{key}", s.blobDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
 }
@@ -250,8 +260,37 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// healthz handles GET /healthz: liveness for load balancers and CI.
+// metrics handles GET /metrics: the engine bus's folded metrics in
+// Prometheus text exposition format. A daemon whose engine runs without
+// a bus serves an empty (but valid) exposition rather than 404, so
+// scrape configs need not care how the daemon was wired.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.queue.Engine().Obs.Registry().WritePrometheus(w)
+}
+
+// healthView is the /healthz payload.
+type healthView struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+}
+
+// healthz handles GET /healthz: liveness for load balancers and CI,
+// with enough build identity to tell which binary is answering.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte("ok\n"))
+	v := healthView{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				v.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
 }

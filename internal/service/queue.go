@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
 )
 
 // ErrDraining is returned by Submit once Drain has begun: the daemon is
@@ -41,6 +42,11 @@ type Job struct {
 	cancelRequested bool
 	cancel          context.CancelFunc
 	done            chan struct{}
+
+	// stream is the job's live event log, created at submit and closed
+	// by finishLocked after the terminal event; the SSE endpoint
+	// subscribes to it.
+	stream *jobStream
 }
 
 // Done returns a channel closed when the job reaches a terminal status.
@@ -81,6 +87,9 @@ type Queue struct {
 	// GC runs (lazily allocated on the first eviction).
 	gcPerKind map[string]*KindGCView
 	lastGC    time.Time
+
+	// streams accounts SSE subscriptions across all job streams.
+	streams streamCounters
 }
 
 // NewQueue starts a queue with the given worker-pool size (<=0: 1) over
@@ -138,6 +147,7 @@ func (q *Queue) Submit(req Request) (job *Job, deduped bool, err error) {
 		if req.Priority > j.Req.Priority {
 			j.Req.Priority = req.Priority
 		}
+		q.publishJob(j, obs.Event{Type: obs.TypeJob, Op: "coalesced", Kind: string(j.Req.Kind)})
 		return j, true, nil
 	}
 	q.nextID++
@@ -149,12 +159,14 @@ func (q *Queue) Submit(req Request) (job *Job, deduped bool, err error) {
 		created:  time.Now(),
 		sourceFP: sourceFP,
 		done:     make(chan struct{}),
+		stream:   newJobStream(&q.streams),
 	}
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
 	q.active[key] = j
 	q.pending = append(q.pending, j)
 	q.submitted++
+	q.publishJob(j, obs.Event{Type: obs.TypeJob, Op: "submitted", Kind: string(j.Req.Kind)})
 	q.cond.Signal()
 	return j, false, nil
 }
@@ -229,6 +241,14 @@ func (q *Queue) finishLocked(j *Job, st Status, errMsg string, res *Result) {
 		q.canceled++
 	}
 	q.terminalCount++
+	ev := obs.Event{Type: obs.TypeJob, Op: string(st), Kind: string(j.Req.Kind), Err: errMsg}
+	if p := j.progress; p != (Progress{}) {
+		ev.Done, ev.Total = p.Done, p.Total
+	}
+	q.publishJob(j, ev)
+	// The terminal event is the last frame any subscriber sees: closing
+	// the stream ends every live SSE connection after it drains.
+	j.stream.close()
 	close(j.done)
 	q.cond.Broadcast()
 	q.evictTerminalLocked()
@@ -291,6 +311,7 @@ func (q *Queue) worker() {
 		j.status = StatusRunning
 		j.started = time.Now()
 		q.running++
+		q.publishJob(j, obs.Event{Type: obs.TypeJob, Op: "started", Kind: string(j.Req.Kind)})
 		q.mu.Unlock()
 
 		res, runErr := q.execute(ctx, j)
@@ -401,10 +422,12 @@ func (q *Queue) maybeGC() {
 	}
 }
 
-// setProgress updates a job's progress counter.
+// setProgress updates a job's progress counter and publishes it as a
+// progress event, so pollers and stream subscribers advance together.
 func (q *Queue) setProgress(j *Job, done, total int) {
 	q.mu.Lock()
 	j.progress = Progress{Done: done, Total: total}
+	q.publishJob(j, obs.Event{Type: obs.TypeProgress, Kind: string(j.Req.Kind), Done: done, Total: total})
 	q.mu.Unlock()
 }
 
@@ -485,6 +508,21 @@ func (q *Queue) Stats() StatsView {
 			Errors:       q.gcErrors,
 			PerKind:      q.gcPerKindLocked(),
 		},
+		Events: q.eventStatsLocked(),
+	}
+}
+
+// eventStatsLocked snapshots bus and SSE-stream accounting (caller
+// holds the queue lock; the counters themselves are atomic).
+func (q *Queue) eventStatsLocked() EventStatsView {
+	bs := q.eng.Obs.Stats()
+	return EventStatsView{
+		BusPublished:       bs.Published,
+		BusDropped:         bs.Dropped,
+		BusSubscribers:     bs.Subscribers,
+		StreamsOpened:      q.streams.opened.Load(),
+		StreamsActive:      q.streams.active.Load(),
+		SubscribersDropped: q.streams.dropped.Load(),
 	}
 }
 

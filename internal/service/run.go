@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sparkgo/internal/explore"
+	"sparkgo/internal/obs"
 )
 
 // execute runs one job against the shared engine. It returns the result
@@ -146,6 +147,26 @@ func (q *Queue) runSearch(ctx context.Context, j *Job) (*Result, error) {
 		MaxEvaluations: req.Budget,
 		MaxDuration:    time.Duration(req.BudgetMS) * time.Millisecond,
 	}
+	// The observer is what makes a running search visible from outside:
+	// every scored batch advances the job's progress counter (so polls
+	// of /v1/jobs/{id} move mid-search instead of jumping 0→budget at
+	// the end), and every improvement streams out as a trajectory event.
+	ctx = explore.WithSearchObserver(ctx, &explore.SearchObserver{
+		OnBatch: func(evals int) { q.setProgress(j, evals, req.Budget) },
+		OnImprovement: func(s explore.Step) {
+			q.publishJob(j, obs.Event{
+				Type:       obs.TypeTrajectory,
+				Kind:       string(j.Req.Kind),
+				Evaluation: s.Evaluation,
+				Score:      s.Score,
+				Cycles:     s.Point.Latency,
+				Config:     s.Point.Config.String(),
+			})
+		},
+		OnRound: func(n int) {
+			q.publishJob(j, obs.Event{Type: obs.TypeRound, Kind: string(j.Req.Kind), Round: n})
+		},
+	})
 	res := st.SearchContext(ctx, q.eng, sp, obj, budget, req.Seed)
 	q.setProgress(j, res.Evaluations, req.Budget)
 

@@ -15,13 +15,17 @@
 //
 // cmd/sparkd serves this package over HTTP:
 //
-//	POST   /v1/jobs        submit (returns the job, possibly deduped)
-//	GET    /v1/jobs        list jobs
-//	GET    /v1/jobs/{id}   poll one job (result inlined when terminal)
-//	DELETE /v1/jobs/{id}   cancel (mid-run cancellation cuts the job at
-//	                       the next evaluation-batch boundary)
-//	GET    /v1/stats       engine cache + queue + GC + blob counters
-//	GET    /healthz        liveness
+//	POST   /v1/jobs               submit (returns the job, possibly deduped)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          poll one job (result inlined when terminal)
+//	GET    /v1/jobs/{id}/events   live event stream (SSE): lifecycle,
+//	                              progress, and search trajectory
+//	DELETE /v1/jobs/{id}          cancel (mid-run cancellation cuts the job
+//	                              at the next evaluation-batch boundary)
+//	GET    /v1/stats              engine cache + queue + GC + blob + event
+//	                              counters
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               liveness (JSON: status, uptime, build)
 //
 // The daemon also exports its local blob tiers (memory + disk) as a
 // remote cache tier for peer engines:
@@ -425,6 +429,19 @@ type BlobStatsView struct {
 	Errors  int64 `json:"errors"`
 }
 
+// EventStatsView counts observability traffic: events through the
+// engine's bus and SSE stream subscriptions, including subscribers
+// dropped for falling behind (the publish side never blocks on a slow
+// reader).
+type EventStatsView struct {
+	BusPublished       int64 `json:"bus_published"`
+	BusDropped         int64 `json:"bus_dropped"`
+	BusSubscribers     int   `json:"bus_subscribers"`
+	StreamsOpened      int64 `json:"streams_opened"`
+	StreamsActive      int64 `json:"streams_active"`
+	SubscribersDropped int64 `json:"subscribers_dropped"`
+}
+
 // StatsView is the /v1/stats payload: where lookups were served from
 // (the shared caches being the product), the blob-API counters, the
 // queue counters, and the GC counters, stamped with the cache schema so
@@ -436,6 +453,7 @@ type StatsView struct {
 	Blobs         BlobStatsView         `json:"blobs"`
 	Queue         QueueStatsView        `json:"queue"`
 	GC            GCStatsView           `json:"gc"`
+	Events        EventStatsView        `json:"events"`
 }
 
 func engineStatsView(s explore.Stats) EngineStatsView {

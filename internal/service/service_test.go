@@ -13,6 +13,7 @@ import (
 	"sparkgo/internal/explore"
 	"sparkgo/internal/ild"
 	"sparkgo/internal/ir"
+	"sparkgo/internal/obs"
 )
 
 // testServer boots the full HTTP stack over a fresh queue + engine. The
@@ -24,6 +25,10 @@ func testServer(t *testing.T, queueWorkers int) (*httptest.Server, *Queue) {
 		Workers:   2,
 		SimTrials: 1,
 		CacheDir:  t.TempDir(),
+		// The bus is attached in every service test so the whole event
+		// path — stage spans, job lifecycle, metrics folding — runs
+		// under -race alongside the queue.
+		Obs: obs.NewBus(obs.NewMetrics(obs.NewRegistry())),
 		Source: func(n int) *ir.Program {
 			if n > blockerScale {
 				time.Sleep(500 * time.Millisecond)
@@ -358,14 +363,15 @@ func TestSubmitValidation(t *testing.T) {
 	if code := httpJSON(t, "DELETE", base+"/v1/jobs/j999", nil, nil); code != http.StatusNotFound {
 		t.Errorf("cancel unknown job: HTTP %d, want 404", code)
 	}
-	var health string
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz: %v", err)
+	var health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		GoVersion     string  `json:"go_version"`
 	}
-	defer resp.Body.Close()
-	fmt.Fscan(resp.Body, &health)
-	if resp.StatusCode != http.StatusOK || health != "ok" {
-		t.Errorf("healthz: HTTP %d %q", resp.StatusCode, health)
+	if code := httpJSON(t, "GET", base+"/healthz", nil, &health); code != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", code)
+	}
+	if health.Status != "ok" || health.UptimeSeconds < 0 || health.GoVersion == "" {
+		t.Errorf("healthz payload: %+v", health)
 	}
 }
