@@ -40,6 +40,7 @@ import (
 	"sparkgo/internal/ild"
 	"sparkgo/internal/interp"
 	"sparkgo/internal/report"
+	"sparkgo/internal/rtl"
 	"sparkgo/internal/rtlsim"
 )
 
@@ -306,16 +307,18 @@ func benchmarkSimScalar(b *testing.B, preset core.Preset) {
 	}
 }
 
-// benchmarkSimBatch measures the compiled batched path on the same
+// benchmarkSimBatch measures a compiled batched path on the same
 // workload, including the per-point Compile cost the exploration engine
 // pays: lower the netlist once, step all 64 trials in lockstep lanes.
-func benchmarkSimBatch(b *testing.B, preset core.Preset) {
+// The compile argument selects the execution model (bit-sliced
+// rtlsim.Compile vs struct-of-arrays rtlsim.CompileSoA).
+func benchmarkSimBatch(b *testing.B, preset core.Preset, compile func(*rtl.Module) *rtlsim.Program) {
 	res, envs := benchSimWorkload(b, preset)
 	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
 	b.ReportMetric(float64(len(envs)), "trials")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prog := rtlsim.Compile(res.Module)
+		prog := compile(res.Module)
 		batch := prog.NewBatch(len(envs))
 		for ln, env := range envs {
 			if err := batch.LoadEnv(ln, res.Input, env); err != nil {
@@ -328,18 +331,58 @@ func benchmarkSimBatch(b *testing.B, preset core.Preset) {
 	}
 }
 
-// BenchmarkSimScalarILD / BenchmarkSimBatchILD: 64 trials of the paper's
-// single-cycle n=32 decoder — the dominant cost of a disk-warm-sim sweep.
+// BenchmarkSimScalarILD / BenchmarkSimBatchILD / BenchmarkSimBitParILD:
+// 64 trials of the paper's single-cycle n=32 decoder — the dominant cost
+// of a disk-warm-sim sweep — on the scalar reference, the
+// struct-of-arrays batch, and the bit-sliced batch.
 func BenchmarkSimScalarILD(b *testing.B) { benchmarkSimScalar(b, core.MicroprocessorBlock) }
 
-func BenchmarkSimBatchILD(b *testing.B) { benchmarkSimBatch(b, core.MicroprocessorBlock) }
+func BenchmarkSimBatchILD(b *testing.B) {
+	benchmarkSimBatch(b, core.MicroprocessorBlock, rtlsim.CompileSoA)
+}
 
-// BenchmarkSimScalarILDClassical / BenchmarkSimBatchILDClassical: the
-// same comparison on the sequential classical-ASIC FSM, where the scalar
-// loop's per-cycle map allocation multiplies with the cycle count.
+func BenchmarkSimBitParILD(b *testing.B) {
+	benchmarkSimBatch(b, core.MicroprocessorBlock, rtlsim.Compile)
+}
+
+// The same three-way comparison on the sequential classical-ASIC FSM,
+// where the scalar loop's per-cycle map allocation multiplies with the
+// cycle count and the control network dominates the gate mix.
 func BenchmarkSimScalarILDClassical(b *testing.B) { benchmarkSimScalar(b, core.ClassicalASIC) }
 
-func BenchmarkSimBatchILDClassical(b *testing.B) { benchmarkSimBatch(b, core.ClassicalASIC) }
+func BenchmarkSimBatchILDClassical(b *testing.B) {
+	benchmarkSimBatch(b, core.ClassicalASIC, rtlsim.CompileSoA)
+}
+
+func BenchmarkSimBitParILDClassical(b *testing.B) {
+	benchmarkSimBatch(b, core.ClassicalASIC, rtlsim.Compile)
+}
+
+// BenchmarkMidendAllocs pins the allocation count of the midend builders
+// — HTG lowering plus the RTL signal web — which carve their nodes from
+// fixed-size arenas instead of allocating per op/signal. Run with
+// -benchmem; the allocs/op figure is the regression guard for the arena
+// paths in internal/htg/lower.go and internal/rtl/netlist.go.
+func BenchmarkMidendAllocs(b *testing.B) {
+	p := ild.Program(32)
+	opt := core.Options{Preset: core.ClassicalASIC}
+	fa, err := core.Frontend(p, opt.FrontendOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mo := opt.MidendOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ma, err := core.Midend(fa, mo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rtl.Build(ma.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkRTLSimILD measures cycle-accurate simulation throughput of the
 // synthesized single-cycle decoder.

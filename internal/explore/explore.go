@@ -613,16 +613,20 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 			return pt
 		}
 		simStart := e.stageStart()
-		lat, err := e.simulate(ctx, src, mod, c)
+		lat, mix, err := e.simulate(ctx, src, mod, c)
 		if err != nil {
 			pt.Err = err.Error()
 			return pt
 		}
 		if !simStart.IsZero() {
 			e.Obs.Publish(obs.Event{
-				Type:       obs.TypeSim,
-				Cycles:     lat,
-				DurationNs: time.Since(simStart).Nanoseconds(),
+				Type:             obs.TypeSim,
+				Cycles:           lat,
+				DurationNs:       time.Since(simStart).Nanoseconds(),
+				SimInsnsPacked:   int64(mix.Packed),
+				SimInsnsBoundary: int64(mix.Boundary),
+				SimInsnsWide:     int64(mix.Wide),
+				SimInsnsLane:     int64(mix.Lane),
 			})
 		}
 		pt.Latency = lat
@@ -644,14 +648,15 @@ func (e *Engine) synthesize(ctx context.Context, c Config, src *sourceEntry) Poi
 // non-terminating design errors within thousands of cycles instead of
 // burning millions per trial. Cancellation is observed between lane
 // batches.
-func (e *Engine) simulate(ctx context.Context, src *sourceEntry, mod *rtl.Module, c Config) (int, error) {
+func (e *Engine) simulate(ctx context.Context, src *sourceEntry, mod *rtl.Module, c Config) (int, rtlsim.InsnMix, error) {
 	rng := rand.New(rand.NewSource(simSeed(src.fingerprint, c)))
 	prog := rtlsim.Compile(mod)
+	mix := prog.Mix()
 	maxCycles := rtlsim.WatchdogCycles(mod.NumStates)
 	max := 0
 	for start := 0; start < e.SimTrials; start += rtlsim.MaxLanes {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, mix, err
 		}
 		envs := make([]*interp.Env, min(rtlsim.MaxLanes, e.SimTrials-start))
 		for i := range envs {
@@ -659,14 +664,14 @@ func (e *Engine) simulate(ctx context.Context, src *sourceEntry, mod *rtl.Module
 		}
 		for _, lr := range prog.RunBatch(src.prog, envs, maxCycles) {
 			if lr.Err != nil {
-				return 0, lr.Err
+				return 0, mix, lr.Err
 			}
 			if lr.Cycles > max {
 				max = lr.Cycles
 			}
 		}
 	}
-	return max, nil
+	return max, mix, nil
 }
 
 // simSeed derives the deterministic simulation seed from everything the

@@ -29,7 +29,7 @@ func TestSimulateWatchdogDerivedFromSchedule(t *testing.T) {
 	e := &Engine{SimTrials: 8}
 	src := &sourceEntry{prog: prog, fingerprint: "test-hung"}
 	start := time.Now()
-	_, err := e.simulate(context.Background(), src, m, Config{N: 1})
+	_, _, err := e.simulate(context.Background(), src, m, Config{N: 1})
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("expected watchdog error for hung FSM")

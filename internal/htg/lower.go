@@ -36,10 +36,86 @@ type lowerer struct {
 	cur   *BasicBlock
 	seq   *Seq
 	guard []GuardTerm
+
+	// Lowering arenas: ops, operand lists, blocks, and guard copies are
+	// carved from fixed-size chunks instead of allocated one heap object
+	// per emit — the same block-allocation the codec uses on decode,
+	// applied to the builder the midend re-runs per explored design
+	// point. Chunks are never resliced once handed out, so the pointers
+	// stay stable for the life of the graph.
+	opArena    []Op
+	bbArena    []BasicBlock
+	argArena   []Operand
+	guardArena []GuardTerm
+}
+
+// lowerArenaChunk sizes the lowering arenas: a handful of chunks covers
+// a typical function, and an abandoned graph wastes little.
+const lowerArenaChunk = 64
+
+// newOp carves one op from the arena and initializes it from the
+// prototype.
+func (lw *lowerer) newOp(proto Op) *Op {
+	if len(lw.opArena) == 0 {
+		lw.opArena = make([]Op, lowerArenaChunk)
+	}
+	op := &lw.opArena[0]
+	lw.opArena = lw.opArena[1:]
+	*op = proto
+	return op
+}
+
+// argSlots carves an n-element operand list from the arena.
+func (lw *lowerer) argSlots(n int) []Operand {
+	if len(lw.argArena) < n {
+		lw.argArena = make([]Operand, max(lowerArenaChunk, n))
+	}
+	s := lw.argArena[:n:n]
+	lw.argArena = lw.argArena[n:]
+	return s
+}
+
+func (lw *lowerer) args1(a Operand) []Operand {
+	s := lw.argSlots(1)
+	s[0] = a
+	return s
+}
+
+func (lw *lowerer) args2(a, b Operand) []Operand {
+	s := lw.argSlots(2)
+	s[0], s[1] = a, b
+	return s
+}
+
+func (lw *lowerer) args3(a, b, c Operand) []Operand {
+	s := lw.argSlots(3)
+	s[0], s[1], s[2] = a, b, c
+	return s
+}
+
+// copyGuard snapshots the current guard context from the arena.
+func (lw *lowerer) copyGuard() []GuardTerm {
+	n := len(lw.guard)
+	if n == 0 {
+		return []GuardTerm{}
+	}
+	if len(lw.guardArena) < n {
+		lw.guardArena = make([]GuardTerm, max(lowerArenaChunk, n))
+	}
+	s := lw.guardArena[:n:n]
+	lw.guardArena = lw.guardArena[n:]
+	copy(s, lw.guard)
+	return s
 }
 
 func (lw *lowerer) newBB() *BasicBlock {
-	bb := &BasicBlock{ID: len(lw.g.Blocks), Guard: append([]GuardTerm{}, lw.guard...)}
+	if len(lw.bbArena) == 0 {
+		lw.bbArena = make([]BasicBlock, lowerArenaChunk)
+	}
+	bb := &lw.bbArena[0]
+	lw.bbArena = lw.bbArena[1:]
+	bb.ID = len(lw.g.Blocks)
+	bb.Guard = lw.copyGuard()
 	lw.g.Blocks = append(lw.g.Blocks, bb)
 	return bb
 }
@@ -53,7 +129,8 @@ func (lw *lowerer) ensureBB() *BasicBlock {
 	return lw.cur
 }
 
-func (lw *lowerer) emit(op *Op) *Op {
+func (lw *lowerer) emit(proto Op) *Op {
+	op := lw.newOp(proto)
 	bb := lw.ensureBB()
 	op.ID = lw.g.nextOp
 	lw.g.nextOp++
@@ -153,7 +230,7 @@ func (lw *lowerer) lowerAssign(a *ir.AssignStmt) error {
 		if err != nil {
 			return err
 		}
-		lw.emit(&Op{Kind: OpStore, Arr: lhs.Arr, Args: []Operand{idx, val}})
+		lw.emit(Op{Kind: OpStore, Arr: lhs.Arr, Args: lw.args2(idx, val)})
 		return nil
 	}
 	return fmt.Errorf("htg: bad lvalue %T", a.LHS)
@@ -170,7 +247,7 @@ func (lw *lowerer) assignTo(dst *ir.Var, e ir.Expr) error {
 	if !op.IsConst && op.Var == dst {
 		return nil
 	}
-	lw.emit(&Op{Kind: OpCopy, Dst: dst, Args: []Operand{op}})
+	lw.emit(Op{Kind: OpCopy, Dst: dst, Args: lw.args1(op)})
 	return nil
 }
 
@@ -180,7 +257,7 @@ func (lw *lowerer) materialize(o Operand, t *ir.Type) (*ir.Var, error) {
 		return o.Var, nil
 	}
 	v := lw.temp(t)
-	lw.emit(&Op{Kind: OpCopy, Dst: v, Args: []Operand{o}})
+	lw.emit(Op{Kind: OpCopy, Dst: v, Args: lw.args1(o)})
 	return v, nil
 }
 
@@ -203,7 +280,7 @@ func (lw *lowerer) lowerExpr(e ir.Expr, dst *ir.Var) (Operand, error) {
 			return Operand{}, err
 		}
 		d := lw.target(dst, x.Type())
-		lw.emit(&Op{Kind: OpLoad, Dst: d, Arr: x.Arr, Args: []Operand{idx}})
+		lw.emit(Op{Kind: OpLoad, Dst: d, Arr: x.Arr, Args: lw.args1(idx)})
 		return VarOperand(d), nil
 	case *ir.BinExpr:
 		l, err := lw.lowerExpr(x.L, nil)
@@ -215,7 +292,7 @@ func (lw *lowerer) lowerExpr(e ir.Expr, dst *ir.Var) (Operand, error) {
 			return Operand{}, err
 		}
 		d := lw.target(dst, x.Typ)
-		lw.emit(&Op{Kind: OpBin, Bin: x.Op, Dst: d, Args: []Operand{l, r},
+		lw.emit(Op{Kind: OpBin, Bin: x.Op, Dst: d, Args: lw.args2(l, r),
 			UnsignedOps: interp.UnsignedOperands(x.L.Type(), x.R.Type())})
 		return VarOperand(d), nil
 	case *ir.UnExpr:
@@ -224,7 +301,7 @@ func (lw *lowerer) lowerExpr(e ir.Expr, dst *ir.Var) (Operand, error) {
 			return Operand{}, err
 		}
 		d := lw.target(dst, x.Typ)
-		lw.emit(&Op{Kind: OpUn, Un: x.Op, Dst: d, Args: []Operand{in}})
+		lw.emit(Op{Kind: OpUn, Un: x.Op, Dst: d, Args: lw.args1(in)})
 		return VarOperand(d), nil
 	case *ir.SelExpr:
 		c, err := lw.lowerExpr(x.Cond, nil)
@@ -240,7 +317,7 @@ func (lw *lowerer) lowerExpr(e ir.Expr, dst *ir.Var) (Operand, error) {
 			return Operand{}, err
 		}
 		d := lw.target(dst, x.Typ)
-		lw.emit(&Op{Kind: OpMux, Dst: d, Args: []Operand{c, tv, ev}})
+		lw.emit(Op{Kind: OpMux, Dst: d, Args: lw.args3(c, tv, ev)})
 		return VarOperand(d), nil
 	case *ir.CastExpr:
 		in, err := lw.lowerExpr(x.X, nil)
@@ -248,7 +325,7 @@ func (lw *lowerer) lowerExpr(e ir.Expr, dst *ir.Var) (Operand, error) {
 			return Operand{}, err
 		}
 		d := lw.target(dst, x.Typ)
-		lw.emit(&Op{Kind: OpCopy, Dst: d, Args: []Operand{in}})
+		lw.emit(Op{Kind: OpCopy, Dst: d, Args: lw.args1(in)})
 		return VarOperand(d), nil
 	case *ir.CallExpr:
 		return Operand{}, fmt.Errorf("htg: call %s survives lowering", x.Name)

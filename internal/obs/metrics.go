@@ -351,6 +351,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 const (
 	MetricStageLatency = "sparkgo_stage_latency_seconds"
 	MetricSimCycles    = "sparkgo_sim_cycles"
+	MetricSimInsns     = "sparkgo_sim_insns_total"
 	MetricTierOps      = "sparkgo_cache_tier_ops_total"
 	MetricJobs         = "sparkgo_jobs_total"
 	MetricEvents       = "sparkgo_events_published_total"
@@ -367,8 +368,14 @@ type Metrics struct {
 	tierOps      map[string]map[string]*Counter   // tier -> op
 	jobs         map[string]*Counter              // lifecycle op
 	simCycles    *Histogram
+	simInsns     [4]*Counter // packed, boundary, wide, lane
 	events       *Counter
 }
+
+// foldInsnClasses orders the compiled-simulator opcode classes the way
+// Metrics.simInsns indexes them. The strings match rtlsim's Mix*
+// constants; obs stays a leaf package, so they are duplicated here.
+var foldInsnClasses = [4]string{"packed", "boundary", "wide", "lane"}
 
 var (
 	foldStages       = []string{"frontend", "midend", "backend", "point"}
@@ -395,6 +402,7 @@ func NewMetrics(r *Registry) *Metrics {
 		helpTier  = "Blob store operations by tier and outcome."
 		helpJobs  = "Queue job lifecycle transitions."
 		helpSim   = "Measured netlist latency in cycles."
+		helpInsns = "Compiled simulator instructions by opcode class, summed over runs."
 		helpEv    = "Events published to the observability bus."
 	)
 	for _, st := range foldStages {
@@ -416,6 +424,9 @@ func NewMetrics(r *Registry) *Metrics {
 		m.jobs[op] = r.Counter(MetricJobs, helpJobs, "event", op)
 	}
 	m.simCycles = r.Histogram(MetricSimCycles, helpSim, DefaultCycleBuckets)
+	for i, class := range foldInsnClasses {
+		m.simInsns[i] = r.Counter(MetricSimInsns, helpInsns, "class", class)
+	}
 	m.events = r.Counter(MetricEvents, helpEv)
 	return m
 }
@@ -443,6 +454,10 @@ func (m *Metrics) fold(ev Event) {
 		h.Observe(float64(ev.DurationNs) / 1e9)
 	case TypeSim:
 		m.simCycles.Observe(float64(ev.Cycles))
+		m.simInsns[0].Add(ev.SimInsnsPacked)
+		m.simInsns[1].Add(ev.SimInsnsBoundary)
+		m.simInsns[2].Add(ev.SimInsnsWide)
+		m.simInsns[3].Add(ev.SimInsnsLane)
 	case TypeTier:
 		c := m.tierOps[ev.Tier][ev.Op]
 		if c == nil {

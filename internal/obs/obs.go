@@ -62,25 +62,31 @@ const (
 // Event is one structured observation. Events are small value types:
 // they are copied onto subscriber channels, never shared.
 type Event struct {
-	Seq         uint64  `json:"seq"`
-	TimeNs      int64   `json:"time_ns"`
-	Type        string  `json:"type"`
-	Job         string  `json:"job,omitempty"`
-	Stage       string  `json:"stage,omitempty"`
-	Disposition string  `json:"disposition,omitempty"`
-	Tier        string  `json:"tier,omitempty"`
-	Op          string  `json:"op,omitempty"`
-	Kind        string  `json:"kind,omitempty"`
-	DurationNs  int64   `json:"duration_ns,omitempty"`
-	Cycles      int     `json:"cycles,omitempty"`
-	Done        int     `json:"done,omitempty"`
-	Total       int     `json:"total,omitempty"`
-	Evaluation  int     `json:"evaluation,omitempty"`
-	Round       int     `json:"round,omitempty"`
-	Score       float64 `json:"score,omitempty"`
-	Config      string  `json:"config,omitempty"`
-	Detail      string  `json:"detail,omitempty"`
-	Err         string  `json:"err,omitempty"`
+	Seq         uint64 `json:"seq"`
+	TimeNs      int64  `json:"time_ns"`
+	Type        string `json:"type"`
+	Job         string `json:"job,omitempty"`
+	Stage       string `json:"stage,omitempty"`
+	Disposition string `json:"disposition,omitempty"`
+	Tier        string `json:"tier,omitempty"`
+	Op          string `json:"op,omitempty"`
+	Kind        string `json:"kind,omitempty"`
+	DurationNs  int64  `json:"duration_ns,omitempty"`
+	Cycles      int    `json:"cycles,omitempty"`
+	// Compiled-simulator instruction mix by opcode class, carried on
+	// TypeSim events (the counts of the program that just ran).
+	SimInsnsPacked   int64   `json:"sim_insns_packed,omitempty"`
+	SimInsnsBoundary int64   `json:"sim_insns_boundary,omitempty"`
+	SimInsnsWide     int64   `json:"sim_insns_wide,omitempty"`
+	SimInsnsLane     int64   `json:"sim_insns_lane,omitempty"`
+	Done             int     `json:"done,omitempty"`
+	Total            int     `json:"total,omitempty"`
+	Evaluation       int     `json:"evaluation,omitempty"`
+	Round            int     `json:"round,omitempty"`
+	Score            float64 `json:"score,omitempty"`
+	Config           string  `json:"config,omitempty"`
+	Detail           string  `json:"detail,omitempty"`
+	Err              string  `json:"err,omitempty"`
 }
 
 // Sub is one bus subscription. Events are delivered on C; when the

@@ -209,7 +209,9 @@ func TestMetricsFold(t *testing.T) {
 	b.Publish(Event{Type: TypeTier, Tier: "mem", Op: "hit"})
 	b.Publish(Event{Type: TypeTier, Tier: "disk", Op: "backfill"})
 	b.Publish(Event{Type: TypeJob, Op: "submitted"})
-	b.Publish(Event{Type: TypeSim, Cycles: 100})
+	b.Publish(Event{Type: TypeSim, Cycles: 100,
+		SimInsnsPacked: 40, SimInsnsBoundary: 12, SimInsnsWide: 30, SimInsnsLane: 0})
+	b.Publish(Event{Type: TypeSim, Cycles: 50, SimInsnsPacked: 2})
 	// Unknown label values take the fallback path.
 	b.Publish(Event{Type: TypeStage, Stage: "exotic", Disposition: "weird", DurationNs: 1})
 	b.Publish(Event{Type: TypeTier, Tier: "l4", Op: "hit"})
@@ -225,8 +227,12 @@ func TestMetricsFold(t *testing.T) {
 		`sparkgo_cache_tier_ops_total{op="backfill",tier="disk"} 1`,
 		`sparkgo_cache_tier_ops_total{op="hit",tier="l4"} 1`,
 		`sparkgo_jobs_total{event="submitted"} 1`,
-		"sparkgo_sim_cycles_count 1",
-		"sparkgo_events_published_total 8",
+		"sparkgo_sim_cycles_count 2",
+		`sparkgo_sim_insns_total{class="packed"} 42`,
+		`sparkgo_sim_insns_total{class="boundary"} 12`,
+		`sparkgo_sim_insns_total{class="wide"} 30`,
+		`sparkgo_sim_insns_total{class="lane"} 0`,
+		"sparkgo_events_published_total 9",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

@@ -127,7 +127,21 @@ type Module struct {
 	// been rebuilt yet; ensureMemo fills them on the first construction
 	// call, so decode never pays for tables a module may never use.
 	memoStale bool
+
+	// Construction arenas: signals and gates are carved from fixed-size
+	// chunks instead of allocated one heap object per call — the same
+	// block-allocation the codec's rebuildModule uses on decode, applied
+	// to the build path the midend re-runs per explored design point.
+	// Chunks are never resliced once handed out, so the pointers stay
+	// stable for the life of the module.
+	sigArena  []Signal
+	gateArena []Gate
 }
+
+// buildArenaChunk sizes the construction arenas: large enough that a
+// typical design carves from a handful of chunks, small enough that an
+// abandoned module wastes little.
+const buildArenaChunk = 64
 
 // NewModule creates an empty module.
 func NewModule(name string) *Module {
@@ -141,7 +155,15 @@ func NewModule(name string) *Module {
 }
 
 func (m *Module) newSignal(name string, t *ir.Type, kind SigKind) *Signal {
-	s := &Signal{ID: m.nextID, Name: name, Type: t, Kind: kind}
+	if len(m.sigArena) == 0 {
+		m.sigArena = make([]Signal, buildArenaChunk)
+	}
+	s := &m.sigArena[0]
+	m.sigArena = m.sigArena[1:]
+	s.ID = m.nextID
+	s.Name = name
+	s.Type = t
+	s.Kind = kind
 	m.nextID++
 	m.Signals = append(m.Signals, s)
 	return s
@@ -205,8 +227,13 @@ func (m *Module) gate(kind GateKind, bin ir.BinOp, un ir.UnOp, unsignedOps bool,
 		return s
 	}
 	out := m.newSignal(fmt.Sprintf("%s_%d", name, m.nextID), t, SigWire)
-	m.Gates = append(m.Gates, &Gate{Out: out, Kind: kind, Bin: bin, Un: un,
-		UnsignedOps: unsignedOps, In: in})
+	if len(m.gateArena) == 0 {
+		m.gateArena = make([]Gate, buildArenaChunk)
+	}
+	g := &m.gateArena[0]
+	m.gateArena = m.gateArena[1:]
+	*g = Gate{Out: out, Kind: kind, Bin: bin, Un: un, UnsignedOps: unsignedOps, In: in}
+	m.Gates = append(m.Gates, g)
 	m.memo[key] = out
 	return out
 }

@@ -1,19 +1,34 @@
 // Compiled, batched execution. Compile lowers a netlist once into a
-// dense instruction slice — signals keyed by Signal.ID into flat []int64
-// state, no maps, no pointer chasing — and a Batch steps up to MaxLanes
-// independent stimulus lanes through each instruction in
-// struct-of-arrays layout, so gate dispatch, FSM transition lookup, and
-// register-commit bookkeeping are paid once per instruction per cycle
-// instead of once per trial. The scalar Sim remains the reference
-// implementation; the differential suite pins the compiled path against
-// it (and against package interp) bit-for-bit.
-
+// dense instruction slice — signals keyed by Signal.ID into flat state
+// arrays, no maps, no pointer chasing — and a Batch steps up to MaxLanes
+// independent stimulus lanes through each instruction, so gate dispatch,
+// FSM transition lookup, and register-commit bookkeeping are paid once
+// per instruction per cycle instead of once per trial.
+//
+// The compiler classifies every signal by width into one of two
+// execution domains:
+//
+//   - 1-bit signals (booleans and unsigned 1-bit integers: guards, FSM
+//     condition nets, comparison outputs, mux selects — the majority of
+//     nets in control-dominated blocks) are BIT-SLICED: all lanes of
+//     one signal pack into a single uint64 word, one bit per lane, so
+//     AND/OR/NOT/XOR/select over them evaluate the whole batch in one
+//     bitwise instruction instead of a per-lane loop.
+//   - multi-bit datapath signals keep the struct-of-arrays layout
+//     (vals[slot*lanes+lane]), one int64 per lane.
+//
+// Explicit boundary instructions bridge the domains: a wide comparison
+// packs its predicate (opCmpPack), a packed select steers wide words
+// (opMuxWideSel), and width-converting copies pack or unpack
+// (opNarrowBit / opWidenBit). CompileSoA disables the classification —
+// every signal stays struct-of-arrays — and serves as the reference
+// batch oracle the bit-sliced path is differentially pinned against,
+// alongside the scalar Sim and package interp.
 package rtlsim
 
 import (
 	"fmt"
 
-	"sparkgo/internal/interp"
 	"sparkgo/internal/ir"
 	"sparkgo/internal/rtl"
 )
@@ -68,45 +83,162 @@ func (c canonDesc) canon(v int64) int64 {
 	return int64(uint64(v) << c.shift >> c.shift)
 }
 
-// insn is one compiled gate: input and output signals resolved to slots
-// in the flat state array, output canonicalization resolved to a shift
-// pair. Instructions retain the module's topological gate order.
-type insn struct {
-	kind  rtl.GateKind
-	bin   ir.BinOp
-	un    ir.UnOp
-	uns   bool    // unsigned semantics for cmp/div/rem/shr
-	cn    canonDesc
-	out   int32
-	a     int32
-	b     int32
-	c     int32
-	elems []int32 // GateArrayRead element slots
+// isBitType reports whether a signal of this type can be bit-sliced:
+// its canonical values are exactly {0, 1}. Booleans and unsigned 1-bit
+// integers qualify; a signed 1-bit integer does not (its canonical
+// values are {0, -1}) and stays in the wide domain.
+func isBitType(t *ir.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.IsBool() {
+		return true
+	}
+	return t.Kind == ir.KindInt && !t.Signed && t.Bits == 1
 }
 
-// slotInit seeds one slot of the flat state (constants, register resets).
+// slotRef locates one signal's storage: a word index into the packed
+// bit array when bit is set, else a row index into the wide
+// struct-of-arrays state. idx < 0 means "absent" (unused operand,
+// unconditional FSM edge, void return).
+type slotRef struct {
+	idx int32
+	bit bool
+}
+
+var noSlot = slotRef{idx: -1}
+
+// opcode selects one compiled instruction form. The packed group
+// evaluates all lanes in a single bitwise word operation; the wide
+// group is the struct-of-arrays lane loop; the boundary group converts
+// between the domains; the lane group is the fully generic per-lane
+// fallback for rare mixed-domain shapes.
+type opcode uint8
+
+const (
+	// Wide struct-of-arrays ops (all operands and the output are wide).
+	opWideBin opcode = iota
+	opWideUn
+	opWideMux
+	opWideCopy
+	opWideArrayRead
+
+	// Packed bit-sliced ops (single uint64 word per operand).
+	opBitAnd    // out = a & b
+	opBitOr     // out = a | b
+	opBitXor    // out = a ^ b (also Ne over bits)
+	opBitXnor   // out = ^(a ^ b) (Eq over bits)
+	opBitAndNot // out = a &^ b (Gt over bits; Lt with swapped operands)
+	opBitOrNot  // out = a | ^b (Ge over bits; Le with swapped operands)
+	opBitNot    // out = ^a
+	opBitCopy   // out = a
+	opBitMux    // out = sel&a | ^sel&b
+
+	// Boundary ops bridging the domains.
+	opCmpPack    // wide comparison/logical test -> packed predicate
+	opMuxWideSel // packed select steering wide words -> wide
+	opWidenBit   // packed bit -> wide word (canonicalized to out type)
+	opNarrowBit  // wide word -> packed bit
+
+	// Generic per-lane fallback (any operand/output domain mix).
+	opLaneBin
+	opLaneUn
+	opLaneMux
+	opLaneCopy
+	opLaneArrayRead
+)
+
+// class buckets opcodes for the instruction-mix counters surfaced in
+// /metrics.
+func (op opcode) class() string {
+	switch {
+	case op >= opBitAnd && op <= opBitMux:
+		return MixPacked
+	case op >= opCmpPack && op <= opNarrowBit:
+		return MixBoundary
+	case op >= opLaneBin:
+		return MixLane
+	}
+	return MixWide
+}
+
+// Instruction-mix class names (label values of the
+// sparkgo_sim_insns_total metric).
+const (
+	MixPacked   = "packed"
+	MixBoundary = "boundary"
+	MixWide     = "wide"
+	MixLane     = "lane"
+)
+
+// InsnMix counts a compiled program's instructions per execution class.
+type InsnMix struct {
+	// Packed instructions evaluate all lanes in one bitwise word op.
+	Packed int `json:"packed"`
+	// Boundary instructions pack or unpack between the domains
+	// (wide comparison -> predicate, packed select over wide words,
+	// widening/narrowing copies).
+	Boundary int `json:"boundary"`
+	// Wide instructions are struct-of-arrays lane loops over
+	// multi-bit values.
+	Wide int `json:"wide"`
+	// Lane instructions are the generic per-lane fallback for rare
+	// mixed-domain shapes.
+	Lane int `json:"lane"`
+}
+
+// Total returns the instruction count across all classes.
+func (m InsnMix) Total() int { return m.Packed + m.Boundary + m.Wide + m.Lane }
+
+// insn is one compiled gate: operands resolved to slots in their
+// domains, output canonicalization resolved to a shift pair.
+// Instructions retain the module's topological gate order.
+type insn struct {
+	op    opcode
+	kind  rtl.GateKind // generic-fallback dispatch
+	bin   ir.BinOp
+	un    ir.UnOp
+	uns   bool // unsigned semantics for cmp/div/rem/shr
+	cn    canonDesc
+	out   slotRef
+	a     slotRef
+	b     slotRef
+	c     slotRef
+	elems []slotRef // GateArrayRead element slots
+}
+
+// slotInit seeds one wide slot (constants, register resets).
 type slotInit struct {
 	slot int32
 	val  int64
 }
 
-// regCommit is one compiled register write: commit state[val] into
-// state[reg] at the end of every cycle spent in its state.
-type regCommit struct {
-	reg int32
-	val int32
+// bitInit seeds one packed word: all lanes of a 1-bit constant or
+// register reset at once (word is 0 or all-ones).
+type bitInit struct {
+	slot int32
+	word uint64
 }
 
-// transEdge is one compiled FSM edge. cond < 0 means unconditional.
+// regCommit is one compiled register write: commit val into reg at the
+// end of every cycle spent in its state. cn is the register type's
+// canonicalization, applied on cross-domain commits.
+type regCommit struct {
+	reg slotRef
+	val slotRef
+	cn  canonDesc
+}
+
+// transEdge is one compiled FSM edge. cond.idx < 0 means unconditional.
 type transEdge struct {
-	cond    int32
+	cond    slotRef
 	condVal int64 // 1 when the edge fires on true, 0 on false
 	to      int32 // -1: done
 }
 
-// portSlot locates one architectural port in the flat state.
+// portSlot locates one architectural port in the state arrays.
 type portSlot struct {
-	slot int32
+	slot slotRef
 	cn   canonDesc
 }
 
@@ -116,81 +248,128 @@ type portSlot struct {
 type Program struct {
 	M *rtl.Module
 
-	slots     int
+	wideSlots int
+	bitSlots  int
 	numStates int
 	insns     []insn
-	inits     []slotInit  // constant drivers + register resets
-	regs      []slotInit  // register resets only (for Reset)
+	wideInits []slotInit // wide constant drivers + register resets
+	bitInits  []bitInit  // packed constant drivers + register resets
+	wideRegs  []slotInit // wide register resets only (for Reset)
+	bitRegs   []bitInit  // packed register resets only (for Reset)
 	writes    [][]regCommit
 	trans     [][]transEdge
 	maxWrites int
+	maxEdges  int
+	mix       InsnMix
+
+	// need[st] is a bitmap over insns: the transitive producer closure
+	// of state st's register-write sources and transition conditions.
+	// Each cycle only the union over active states evaluates (nil on
+	// the SoA reference path, which keeps the full combinational
+	// sweep of the original batch model).
+	need      [][]uint64
+	needWords int
 
 	scalarPort map[string]portSlot
 	arrayPort  map[string][]portSlot
-	retSlot    int32 // -1 when the design is void
+	retSlot    slotRef // idx < 0 when the design is void
 
 	err error // compile-time validation failure, surfaced per lane
 }
 
-// Compile lowers a module into a Program. An op the simulator does not
-// implement is reported at run time (every lane errors), mirroring the
-// scalar Sim's behaviour; the gate network itself is validated here.
-func Compile(m *rtl.Module) *Program {
+// Compile lowers a module into a bit-sliced Program: 1-bit signals pack
+// all lanes into single words, multi-bit signals stay struct-of-arrays.
+// An op the simulator does not implement is reported at run time (every
+// lane errors), mirroring the scalar Sim's behaviour; the gate network
+// itself is validated here.
+func Compile(m *rtl.Module) *Program { return compileProgram(m, true) }
+
+// CompileSoA lowers a module with bit-slicing disabled: every signal
+// keeps the struct-of-arrays layout. This is the reference batch
+// execution model the bit-sliced path is differentially tested against,
+// and the baseline the BENCH_sim bit-parallel ratchet measures.
+func CompileSoA(m *rtl.Module) *Program { return compileProgram(m, false) }
+
+// Mix returns the compiled instruction counts per execution class.
+func (p *Program) Mix() InsnMix { return p.mix }
+
+// BitSlots returns how many signals were packed into bit-sliced words.
+func (p *Program) BitSlots() int { return p.bitSlots }
+
+// WideSlots returns how many signals use the struct-of-arrays layout.
+func (p *Program) WideSlots() int { return p.wideSlots }
+
+func compileProgram(m *rtl.Module, bitSliced bool) *Program {
 	p := &Program{
 		M:          m,
 		numStates:  m.NumStates,
 		scalarPort: map[string]portSlot{},
 		arrayPort:  map[string][]portSlot{},
-		retSlot:    -1,
+		retSlot:    noSlot,
 	}
+	maxID := -1
 	for _, s := range m.Signals {
-		if s.ID >= p.slots {
-			p.slots = s.ID + 1
+		if s.ID > maxID {
+			maxID = s.ID
 		}
 	}
+	slot := make([]slotRef, maxID+1)
 	for _, s := range m.Signals {
+		if bitSliced && isBitType(s.Type) {
+			slot[s.ID] = slotRef{idx: int32(p.bitSlots), bit: true}
+			p.bitSlots++
+		} else {
+			slot[s.ID] = slotRef{idx: int32(p.wideSlots)}
+			p.wideSlots++
+		}
+	}
+	at := func(s *rtl.Signal) slotRef {
+		if s == nil {
+			return noSlot
+		}
+		return slot[s.ID]
+	}
+	for _, s := range m.Signals {
+		sr := slot[s.ID]
 		switch s.Kind {
 		case rtl.SigConst:
-			p.inits = append(p.inits, slotInit{int32(s.ID), s.Const})
+			if sr.bit {
+				p.bitInits = append(p.bitInits, bitInit{sr.idx, bitWord(s.Const)})
+			} else {
+				p.wideInits = append(p.wideInits, slotInit{sr.idx, s.Const})
+			}
 		case rtl.SigReg:
-			p.inits = append(p.inits, slotInit{int32(s.ID), s.Init})
-			p.regs = append(p.regs, slotInit{int32(s.ID), s.Init})
+			if sr.bit {
+				in := bitInit{sr.idx, bitWord(s.Init)}
+				p.bitInits = append(p.bitInits, in)
+				p.bitRegs = append(p.bitRegs, in)
+			} else {
+				in := slotInit{sr.idx, s.Init}
+				p.wideInits = append(p.wideInits, in)
+				p.wideRegs = append(p.wideRegs, in)
+			}
 		}
 	}
 	for _, g := range m.Gates {
-		in := insn{
-			kind: g.Kind, bin: g.Bin, un: g.Un, uns: g.UnsignedOps,
-			cn: canonOf(g.Out.Type), out: int32(g.Out.ID),
-			a: -1, b: -1, c: -1,
-		}
-		switch g.Kind {
-		case rtl.GateBin:
-			in.a, in.b = int32(g.In[0].ID), int32(g.In[1].ID)
-			if !binOpKnown(g.Bin) {
-				p.err = fmt.Errorf("rtlsim: gate %s: unknown binary op %v", g.Out.Name, g.Bin)
-			}
-		case rtl.GateUn:
-			in.a = int32(g.In[0].ID)
-		case rtl.GateMux:
-			in.a, in.b, in.c = int32(g.In[0].ID), int32(g.In[1].ID), int32(g.In[2].ID)
-		case rtl.GateCopy:
-			in.a = int32(g.In[0].ID)
-		case rtl.GateArrayRead:
-			in.a = int32(g.In[0].ID)
-			in.elems = make([]int32, len(g.In)-1)
-			for i, e := range g.In[1:] {
-				in.elems[i] = int32(e.ID)
-			}
+		p.insns = append(p.insns, p.lowerGate(g, at))
+	}
+	for i := range p.insns {
+		switch p.insns[i].op.class() {
+		case MixPacked:
+			p.mix.Packed++
+		case MixBoundary:
+			p.mix.Boundary++
+		case MixLane:
+			p.mix.Lane++
 		default:
-			p.err = fmt.Errorf("rtlsim: gate %s: unknown gate kind %v", g.Out.Name, g.Kind)
+			p.mix.Wide++
 		}
-		p.insns = append(p.insns, in)
 	}
 	p.writes = make([][]regCommit, m.NumStates)
 	for _, rw := range m.RegWrites {
 		if rw.State >= 0 && rw.State < m.NumStates {
 			p.writes[rw.State] = append(p.writes[rw.State],
-				regCommit{int32(rw.Reg.ID), int32(rw.Value.ID)})
+				regCommit{reg: at(rw.Reg), val: at(rw.Value), cn: canonOf(rw.Reg.Type)})
 		}
 	}
 	for _, ws := range p.writes {
@@ -203,29 +382,240 @@ func Compile(m *rtl.Module) *Program {
 		if tr.From < 0 || tr.From >= m.NumStates {
 			continue
 		}
-		e := transEdge{cond: -1, to: int32(tr.To)}
+		e := transEdge{cond: noSlot, to: int32(tr.To)}
 		if tr.Cond != nil {
-			e.cond = int32(tr.Cond.ID)
+			e.cond = at(tr.Cond)
 			if tr.CondValue {
 				e.condVal = 1
 			}
 		}
 		p.trans[tr.From] = append(p.trans[tr.From], e)
 	}
+	for _, es := range p.trans {
+		if len(es) > p.maxEdges {
+			p.maxEdges = len(es)
+		}
+	}
 	for name, sig := range m.ScalarPort {
-		p.scalarPort[name] = portSlot{int32(sig.ID), canonOf(sig.Type)}
+		p.scalarPort[name] = portSlot{at(sig), canonOf(sig.Type)}
 	}
 	for name, elems := range m.ArrayPort {
 		ps := make([]portSlot, len(elems))
 		for i, sig := range elems {
-			ps[i] = portSlot{int32(sig.ID), canonOf(sig.Type)}
+			ps[i] = portSlot{at(sig), canonOf(sig.Type)}
 		}
 		p.arrayPort[name] = ps
 	}
 	if m.RetSignal != nil {
-		p.retSlot = int32(m.RetSignal.ID)
+		p.retSlot = at(m.RetSignal)
+	}
+	// A single-state FSM observes its whole netlist every cycle, so
+	// per-state need sets would only add iteration overhead there.
+	if bitSliced && m.NumStates > 1 && len(m.Gates) > 0 {
+		p.buildNeedSets(m, maxID)
 	}
 	return p
+}
+
+// buildNeedSets computes, per FSM state, the bitmap of instructions
+// whose outputs that state can observe: the transitive producer closure
+// of its register-write sources and its outgoing transition conditions.
+// A cycle then evaluates only the union over active states — in a
+// many-state sequential design most of the netlist is dead on any given
+// cycle, and the bit-sliced stepper skips it entirely.
+func (p *Program) buildNeedSets(m *rtl.Module, maxID int) {
+	producer := make([]int32, maxID+1)
+	for i := range producer {
+		producer[i] = -1
+	}
+	for i, g := range m.Gates {
+		producer[g.Out.ID] = int32(i)
+	}
+	words := (len(m.Gates) + 63) / 64
+	p.needWords = words
+	p.need = make([][]uint64, m.NumStates)
+	flat := make([]uint64, words*m.NumStates)
+	stack := make([]int32, 0, len(m.Gates))
+	var bm []uint64
+	mark := func(s *rtl.Signal) {
+		if s == nil {
+			return
+		}
+		pi := producer[s.ID]
+		if pi < 0 || bm[pi>>6]&(1<<uint(pi&63)) != 0 {
+			return
+		}
+		bm[pi>>6] |= 1 << uint(pi&63)
+		stack = append(stack, pi)
+	}
+	for st := 0; st < m.NumStates; st++ {
+		bm = flat[st*words : (st+1)*words]
+		stack = stack[:0]
+		for _, rw := range m.RegWrites {
+			if rw.State == st {
+				mark(rw.Value)
+			}
+		}
+		for _, tr := range m.Trans {
+			if tr.From == st {
+				mark(tr.Cond)
+			}
+		}
+		for len(stack) > 0 {
+			pi := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, in := range m.Gates[pi].In {
+				mark(in)
+			}
+		}
+		p.need[st] = bm
+	}
+}
+
+// bitWord expands a canonical 1-bit value to its packed word: every
+// lane of a constant (or register reset) holds the same bit.
+func bitWord(v int64) uint64 {
+	if v&1 != 0 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// lowerGate classifies one gate by the domains of its operands and
+// output and picks the strongest instruction form that covers it:
+// packed single-word ops when everything is bit-sliced, the
+// struct-of-arrays loop when everything is wide, a specialized boundary
+// op on the common crossings, and the generic per-lane fallback for the
+// rest.
+func (p *Program) lowerGate(g *rtl.Gate, at func(*rtl.Signal) slotRef) insn {
+	in := insn{
+		kind: g.Kind, bin: g.Bin, un: g.Un, uns: g.UnsignedOps,
+		cn: canonOf(g.Out.Type), out: at(g.Out),
+		a: noSlot, b: noSlot, c: noSlot,
+	}
+	switch g.Kind {
+	case rtl.GateBin:
+		in.a, in.b = at(g.In[0]), at(g.In[1])
+		if !binOpKnown(g.Bin) {
+			p.err = fmt.Errorf("rtlsim: gate %s: unknown binary op %v", g.Out.Name, g.Bin)
+		}
+		in.op = classifyBin(&in)
+	case rtl.GateUn:
+		in.a = at(g.In[0])
+		in.op = classifyUn(&in)
+	case rtl.GateMux:
+		in.a, in.b, in.c = at(g.In[0]), at(g.In[1]), at(g.In[2])
+		in.op = classifyMux(&in)
+	case rtl.GateCopy:
+		in.a = at(g.In[0])
+		in.op = classifyCopy(&in)
+	case rtl.GateArrayRead:
+		in.a = at(g.In[0])
+		in.elems = make([]slotRef, len(g.In)-1)
+		allWide := !in.a.bit && !in.out.bit
+		for i, e := range g.In[1:] {
+			in.elems[i] = at(e)
+			if in.elems[i].bit {
+				allWide = false
+			}
+		}
+		if allWide {
+			in.op = opWideArrayRead
+		} else {
+			in.op = opLaneArrayRead
+		}
+	default:
+		p.err = fmt.Errorf("rtlsim: gate %s: unknown gate kind %v", g.Out.Name, g.Kind)
+		in.op = opLaneCopy
+	}
+	return in
+}
+
+// classifyBin maps a binary gate onto an opcode. Over packed 1-bit
+// operands every comparison and logical op reduces to one or two
+// bitwise word instructions (values are exactly {0,1}, so signed and
+// unsigned comparison agree); a wide comparison producing a 1-bit
+// predicate packs at the boundary; pure-wide ops keep the SoA loop.
+func classifyBin(in *insn) opcode {
+	if in.out.bit && in.a.bit && in.b.bit {
+		switch in.bin {
+		case ir.OpAnd, ir.OpLAnd, ir.OpMul:
+			return opBitAnd
+		case ir.OpOr, ir.OpLOr:
+			return opBitOr
+		case ir.OpXor, ir.OpNe:
+			return opBitXor
+		case ir.OpEq:
+			return opBitXnor
+		case ir.OpGt:
+			return opBitAndNot // a > b over bits: a &^ b
+		case ir.OpLt:
+			in.a, in.b = in.b, in.a
+			return opBitAndNot // a < b == b &^ a
+		case ir.OpGe:
+			return opBitOrNot // a >= b over bits: a | ^b
+		case ir.OpLe:
+			in.a, in.b = in.b, in.a
+			return opBitOrNot // a <= b == b | ^a
+		}
+		return opLaneBin
+	}
+	if in.out.bit && !in.a.bit && !in.b.bit {
+		switch in.bin {
+		case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpLAnd, ir.OpLOr:
+			return opCmpPack
+		}
+		return opLaneBin
+	}
+	if !in.out.bit && !in.a.bit && !in.b.bit {
+		return opWideBin
+	}
+	return opLaneBin
+}
+
+func classifyUn(in *insn) opcode {
+	if in.out.bit && in.a.bit {
+		switch in.un {
+		case ir.OpNot, ir.OpLNot:
+			return opBitNot
+		case ir.OpNeg:
+			// -v canonicalized to 1 bit is v itself.
+			return opBitCopy
+		}
+		return opLaneUn
+	}
+	if !in.out.bit && !in.a.bit {
+		return opWideUn
+	}
+	return opLaneUn
+}
+
+func classifyMux(in *insn) opcode {
+	if in.a.bit {
+		if in.out.bit && in.b.bit && in.c.bit {
+			return opBitMux
+		}
+		if !in.out.bit && !in.b.bit && !in.c.bit {
+			return opMuxWideSel
+		}
+		return opLaneMux
+	}
+	if !in.out.bit && !in.b.bit && !in.c.bit {
+		return opWideMux
+	}
+	return opLaneMux
+}
+
+func classifyCopy(in *insn) opcode {
+	switch {
+	case in.out.bit && in.a.bit:
+		return opBitCopy
+	case in.out.bit:
+		return opNarrowBit
+	case in.a.bit:
+		return opWidenBit
+	}
+	return opWideCopy
 }
 
 func binOpKnown(op ir.BinOp) bool {
@@ -237,568 +627,4 @@ func binOpKnown(op ir.BinOp) bool {
 		return true
 	}
 	return false
-}
-
-// Batch is one batched simulation: lanes independent stimulus vectors
-// stepped in lockstep through the compiled program. State is one flat
-// slot-major array (vals[slot*lanes+lane]), so each instruction's inner
-// lane loop walks contiguous memory. Lanes finish independently — a lane
-// that reaches done (or fails) drops out of the active set while the
-// rest keep stepping.
-type Batch struct {
-	p     *Program
-	lanes int
-
-	vals    []int64
-	state   []int32
-	cycle   []int32
-	done    []bool
-	errs    []error
-	active  []int32
-	scratch []int64 // two-phase commit staging, sized maxWrites
-}
-
-// NewBatch creates a batch of the given width (1..MaxLanes) with
-// registers at their reset values in every lane.
-func (p *Program) NewBatch(lanes int) *Batch {
-	if lanes < 1 || lanes > MaxLanes {
-		panic(fmt.Sprintf("rtlsim: batch width %d out of range [1,%d]", lanes, MaxLanes))
-	}
-	b := &Batch{
-		p: p, lanes: lanes,
-		vals:    make([]int64, p.slots*lanes),
-		state:   make([]int32, lanes),
-		cycle:   make([]int32, lanes),
-		done:    make([]bool, lanes),
-		errs:    make([]error, lanes),
-		active:  make([]int32, 0, lanes),
-		scratch: make([]int64, p.maxWrites),
-	}
-	for _, in := range p.inits {
-		row := b.vals[int(in.slot)*lanes : int(in.slot)*lanes+lanes]
-		for ln := range row {
-			row[ln] = in.val
-		}
-	}
-	b.Reset()
-	return b
-}
-
-// Lanes returns the batch width.
-func (b *Batch) Lanes() int { return b.lanes }
-
-// Reset returns every lane to reset state: registers at their reset
-// values, the FSM at state 0, cycle counters and errors cleared. Inputs
-// keep their values, matching Sim.Reset. Reset does not allocate.
-func (b *Batch) Reset() {
-	L := b.lanes
-	for _, in := range b.p.regs {
-		row := b.vals[int(in.slot)*L : int(in.slot)*L+L]
-		for ln := range row {
-			row[ln] = in.val
-		}
-	}
-	b.active = b.active[:0]
-	for ln := 0; ln < L; ln++ {
-		b.state[ln] = 0
-		b.cycle[ln] = 0
-		b.errs[ln] = nil
-		if b.p.err != nil {
-			b.errs[ln] = b.p.err
-			b.done[ln] = true
-			continue
-		}
-		// An empty FSM is done before the first cycle, like Sim.Step.
-		b.done[ln] = b.p.numStates == 0
-		if !b.done[ln] {
-			b.active = append(b.active, int32(ln))
-		}
-	}
-}
-
-// fail records a lane-level error and drops the lane from the active set.
-func (b *Batch) fail(lane int, err error) {
-	if b.errs[lane] != nil {
-		return
-	}
-	b.errs[lane] = err
-	for i, ln := range b.active {
-		if int(ln) == lane {
-			b.active = append(b.active[:i], b.active[i+1:]...)
-			break
-		}
-	}
-}
-
-// SetScalar drives a scalar architectural port in one lane.
-func (b *Batch) SetScalar(lane int, name string, v int64) error {
-	ps, ok := b.p.scalarPort[name]
-	if !ok {
-		return fmt.Errorf("rtlsim: no scalar port %q", name)
-	}
-	b.vals[int(ps.slot)*b.lanes+lane] = ps.cn.canon(v)
-	return nil
-}
-
-// SetArray drives an array port element-wise in one lane (elements past
-// the end of vals are driven to zero, matching Sim.SetArray).
-func (b *Batch) SetArray(lane int, name string, vals []int64) error {
-	elems, ok := b.p.arrayPort[name]
-	if !ok {
-		return fmt.Errorf("rtlsim: no array port %q", name)
-	}
-	for i, ps := range elems {
-		var v int64
-		if i < len(vals) {
-			v = vals[i]
-		}
-		b.vals[int(ps.slot)*b.lanes+lane] = ps.cn.canon(v)
-	}
-	return nil
-}
-
-// Scalar reads a scalar port's current value in one lane.
-func (b *Batch) Scalar(lane int, name string) (int64, error) {
-	ps, ok := b.p.scalarPort[name]
-	if !ok {
-		return 0, fmt.Errorf("rtlsim: no scalar port %q", name)
-	}
-	return b.vals[int(ps.slot)*b.lanes+lane], nil
-}
-
-// Array reads an array port's current contents in one lane.
-func (b *Batch) Array(lane int, name string) ([]int64, error) {
-	elems, ok := b.p.arrayPort[name]
-	if !ok {
-		return nil, fmt.Errorf("rtlsim: no array port %q", name)
-	}
-	out := make([]int64, len(elems))
-	for i, ps := range elems {
-		out[i] = b.vals[int(ps.slot)*b.lanes+lane]
-	}
-	return out, nil
-}
-
-// Ret reads the design's return-value register in one lane (0 when void).
-func (b *Batch) Ret(lane int) int64 {
-	if b.p.retSlot < 0 {
-		return 0
-	}
-	return b.vals[int(b.p.retSlot)*b.lanes+lane]
-}
-
-// Done reports whether a lane's FSM has finished.
-func (b *Batch) Done(lane int) bool { return b.done[lane] }
-
-// Cycles returns a lane's clock cycle count since reset.
-func (b *Batch) Cycles(lane int) int { return int(b.cycle[lane]) }
-
-// Err returns a lane's simulation error (nil while healthy).
-func (b *Batch) Err(lane int) error { return b.errs[lane] }
-
-// LoadEnv drives one lane's architectural ports from an interpreter
-// environment, matching globals by name (see Sim.LoadEnv). A failed load
-// poisons the lane: it stops stepping and reports the error.
-func (b *Batch) LoadEnv(lane int, p *ir.Program, env *interp.Env) error {
-	for _, g := range p.Globals {
-		var err error
-		if g.Type.IsArray() {
-			err = b.SetArray(lane, g.Name, env.Array(g))
-		} else {
-			err = b.SetScalar(lane, g.Name, env.Scalar(g))
-		}
-		if err != nil {
-			b.fail(lane, err)
-			return err
-		}
-	}
-	return nil
-}
-
-// StoreEnv writes one lane's final architectural port values back into an
-// interpreter environment (the inverse of LoadEnv), so batched results
-// can be compared env-to-env.
-func (b *Batch) StoreEnv(lane int, p *ir.Program, env *interp.Env) error {
-	for _, g := range p.Globals {
-		if g.Type.IsArray() {
-			vals, err := b.Array(lane, g.Name)
-			if err != nil {
-				return err
-			}
-			env.SetArray(g, vals)
-		} else {
-			v, err := b.Scalar(lane, g.Name)
-			if err != nil {
-				return err
-			}
-			env.SetScalar(g, v)
-		}
-	}
-	return nil
-}
-
-// CompareEnv checks one lane's architectural ports against an interpreter
-// environment, returning the first mismatch description or "" when
-// identical. Array-length divergence between the module's port and the
-// program's type is reported as a mismatch, never indexed past.
-func (b *Batch) CompareEnv(lane int, p *ir.Program, env *interp.Env) string {
-	for _, g := range p.Globals {
-		if g.Type.IsArray() {
-			got, err := b.Array(lane, g.Name)
-			if err != nil {
-				return err.Error()
-			}
-			if diff := compareArray(g.Name, got, env.Array(g)); diff != "" {
-				return diff
-			}
-		} else {
-			got, err := b.Scalar(lane, g.Name)
-			if err != nil {
-				return err.Error()
-			}
-			if want := env.Scalar(g); got != want {
-				return fmt.Sprintf("%s: rtl=%d behavioral=%d", g.Name, got, want)
-			}
-		}
-	}
-	return ""
-}
-
-// compareArray diffs one array port against its behavioral contents,
-// guarding the length first: a port-width/array-length divergence is a
-// reportable mismatch, not an index panic.
-func compareArray(name string, got, want []int64) string {
-	if len(got) != len(want) {
-		return fmt.Sprintf("%s: length mismatch: rtl has %d elements, behavioral has %d",
-			name, len(got), len(want))
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			return fmt.Sprintf("%s[%d]: rtl=%d behavioral=%d", name, i, got[i], want[i])
-		}
-	}
-	return ""
-}
-
-// CompareEnvs diffs two interpreter environments over p's globals — the
-// env-to-env form of CompareEnv, for callers that StoreEnv batched
-// results and compare against a behavioral reference.
-func CompareEnvs(p *ir.Program, got, want *interp.Env) string {
-	for _, g := range p.Globals {
-		if g.Type.IsArray() {
-			if diff := compareArray(g.Name, got.Array(g), want.Array(g)); diff != "" {
-				return diff
-			}
-		} else if gv, wv := got.Scalar(g), want.Scalar(g); gv != wv {
-			return fmt.Sprintf("%s: rtl=%d behavioral=%d", g.Name, gv, wv)
-		}
-	}
-	return ""
-}
-
-// Run steps all active lanes until each is done, failed, or at maxCycles
-// (which marks the lane with a watchdog error, mirroring Sim.Run). It
-// returns the first lane error, if any; per-lane errors remain readable
-// via Err. Run does not allocate on the per-cycle path.
-func (b *Batch) Run(maxCycles int) error {
-	for len(b.active) > 0 {
-		// Active lanes step in lockstep, so they share one cycle count.
-		if int(b.cycle[b.active[0]]) >= maxCycles {
-			for _, ln := range b.active {
-				b.errs[ln] = fmt.Errorf("rtlsim: exceeded %d cycles (state %d)",
-					maxCycles, b.state[ln])
-			}
-			b.active = b.active[:0]
-			break
-		}
-		b.step()
-	}
-	for _, err := range b.errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// step executes one clock cycle across every active lane: combinational
-// evaluation (all instructions, all lanes — struct-of-arrays), then the
-// per-lane FSM transition decision and two-phase register commit. A lane
-// whose state has no matching transition fails with its registers, cycle
-// counter, and FSM state untouched (the pre-commit picture, matching the
-// fixed scalar Sim).
-func (b *Batch) step() {
-	L := b.lanes
-	vals := b.vals
-	for ii := range b.p.insns {
-		ins := &b.p.insns[ii]
-		out := vals[int(ins.out)*L : int(ins.out)*L+L : int(ins.out)*L+L]
-		switch ins.kind {
-		case rtl.GateBin:
-			b.evalBin(ins, out)
-		case rtl.GateUn:
-			av := vals[int(ins.a)*L : int(ins.a)*L+L]
-			switch ins.un {
-			case ir.OpNeg:
-				for ln := 0; ln < L; ln++ {
-					out[ln] = ins.cn.canon(-av[ln])
-				}
-			case ir.OpNot:
-				for ln := 0; ln < L; ln++ {
-					out[ln] = ins.cn.canon(^av[ln])
-				}
-			case ir.OpLNot:
-				for ln := 0; ln < L; ln++ {
-					out[ln] = ins.cn.canon(b2i(av[ln] == 0))
-				}
-			}
-		case rtl.GateMux:
-			sel := vals[int(ins.a)*L : int(ins.a)*L+L]
-			av := vals[int(ins.b)*L : int(ins.b)*L+L]
-			bv := vals[int(ins.c)*L : int(ins.c)*L+L]
-			for ln := 0; ln < L; ln++ {
-				if sel[ln] != 0 {
-					out[ln] = ins.cn.canon(av[ln])
-				} else {
-					out[ln] = ins.cn.canon(bv[ln])
-				}
-			}
-		case rtl.GateCopy:
-			av := vals[int(ins.a)*L : int(ins.a)*L+L]
-			for ln := 0; ln < L; ln++ {
-				out[ln] = ins.cn.canon(av[ln])
-			}
-		case rtl.GateArrayRead:
-			idxv := vals[int(ins.a)*L : int(ins.a)*L+L]
-			for ln := 0; ln < L; ln++ {
-				idx := idxv[ln]
-				if idx >= 0 && idx < int64(len(ins.elems)) {
-					out[ln] = ins.cn.canon(vals[int(ins.elems[idx])*L+ln])
-				} else {
-					out[ln] = 0
-				}
-			}
-		}
-	}
-	// FSM transition + two-phase register commit, per active lane. The
-	// active set is compacted in place: finished and failed lanes drop out.
-	n := 0
-	for _, ln := range b.active {
-		st := int(b.state[ln])
-		next := -2
-		for _, tr := range b.p.trans[st] {
-			if tr.cond < 0 {
-				next = int(tr.to)
-				break
-			}
-			cv := b2i(vals[int(tr.cond)*L+int(ln)] != 0)
-			if cv == tr.condVal {
-				next = int(tr.to)
-				break
-			}
-		}
-		if next == -2 {
-			// No matching transition: report before committing anything,
-			// leaving the lane's pre-transition state intact.
-			b.errs[ln] = fmt.Errorf("rtlsim: state %d has no matching transition", st)
-			continue
-		}
-		ws := b.p.writes[st]
-		for i := range ws {
-			b.scratch[i] = vals[int(ws[i].val)*L+int(ln)]
-		}
-		for i := range ws {
-			vals[int(ws[i].reg)*L+int(ln)] = b.scratch[i]
-		}
-		b.cycle[ln]++
-		if next == -1 {
-			b.done[ln] = true
-			continue
-		}
-		b.state[ln] = int32(next)
-		b.active[n] = ln
-		n++
-	}
-	b.active = b.active[:n]
-}
-
-// evalBin evaluates one binary-operator instruction across all lanes,
-// bit-identical to interp.EvalBinOp (whose semantics are inlined here so
-// the per-lane cost is one arithmetic op plus the canon shift).
-func (b *Batch) evalBin(ins *insn, out []int64) {
-	L := b.lanes
-	av := b.vals[int(ins.a)*L : int(ins.a)*L+L]
-	bv := b.vals[int(ins.b)*L : int(ins.b)*L+L]
-	cn := ins.cn
-	switch ins.bin {
-	case ir.OpAdd:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(av[ln] + bv[ln])
-		}
-	case ir.OpSub:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(av[ln] - bv[ln])
-		}
-	case ir.OpMul:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(av[ln] * bv[ln])
-		}
-	case ir.OpDiv:
-		for ln := 0; ln < L; ln++ {
-			var v int64
-			switch {
-			case bv[ln] == 0:
-				// Division by zero yields zero (hardware convention).
-			case ins.uns:
-				v = int64(uint64(av[ln]) / uint64(bv[ln]))
-			default:
-				v = av[ln] / bv[ln]
-			}
-			out[ln] = cn.canon(v)
-		}
-	case ir.OpRem:
-		for ln := 0; ln < L; ln++ {
-			var v int64
-			switch {
-			case bv[ln] == 0:
-			case ins.uns:
-				v = int64(uint64(av[ln]) % uint64(bv[ln]))
-			default:
-				v = av[ln] % bv[ln]
-			}
-			out[ln] = cn.canon(v)
-		}
-	case ir.OpAnd:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(av[ln] & bv[ln])
-		}
-	case ir.OpOr:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(av[ln] | bv[ln])
-		}
-	case ir.OpXor:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(av[ln] ^ bv[ln])
-		}
-	case ir.OpShl:
-		for ln := 0; ln < L; ln++ {
-			var v int64
-			if s := uint64(bv[ln]); s < 64 {
-				v = int64(uint64(av[ln]) << s)
-			}
-			out[ln] = cn.canon(v)
-		}
-	case ir.OpShr:
-		for ln := 0; ln < L; ln++ {
-			var v int64
-			s := uint64(bv[ln])
-			switch {
-			case s >= 64:
-				if !ins.uns && av[ln] < 0 {
-					v = -1
-				}
-			case ins.uns:
-				v = int64(uint64(av[ln]) >> s)
-			default:
-				v = av[ln] >> s
-			}
-			out[ln] = cn.canon(v)
-		}
-	case ir.OpEq:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(b2i(av[ln] == bv[ln]))
-		}
-	case ir.OpNe:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(b2i(av[ln] != bv[ln]))
-		}
-	case ir.OpLt:
-		if ins.uns {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(uint64(av[ln]) < uint64(bv[ln])))
-			}
-		} else {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(av[ln] < bv[ln]))
-			}
-		}
-	case ir.OpLe:
-		if ins.uns {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(uint64(av[ln]) <= uint64(bv[ln])))
-			}
-		} else {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(av[ln] <= bv[ln]))
-			}
-		}
-	case ir.OpGt:
-		if ins.uns {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(uint64(av[ln]) > uint64(bv[ln])))
-			}
-		} else {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(av[ln] > bv[ln]))
-			}
-		}
-	case ir.OpGe:
-		if ins.uns {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(uint64(av[ln]) >= uint64(bv[ln])))
-			}
-		} else {
-			for ln := 0; ln < L; ln++ {
-				out[ln] = cn.canon(b2i(av[ln] >= bv[ln]))
-			}
-		}
-	case ir.OpLAnd:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(b2i(av[ln] != 0 && bv[ln] != 0))
-		}
-	case ir.OpLOr:
-		for ln := 0; ln < L; ln++ {
-			out[ln] = cn.canon(b2i(av[ln] != 0 || bv[ln] != 0))
-		}
-	}
-}
-
-func b2i(v bool) int64 {
-	if v {
-		return 1
-	}
-	return 0
-}
-
-// LaneResult is one lane's outcome from RunBatch.
-type LaneResult struct {
-	Cycles int
-	Err    error
-}
-
-// RunBatch simulates one lane per environment: each env's globals drive
-// one lane's ports, every lane steps to completion (bounded by
-// maxCycles), and each lane's final port values are stored back into its
-// env for comparison against a behavioral reference. Environments beyond
-// MaxLanes are chunked into successive batches, so callers simply pass
-// their whole trial set.
-func (p *Program) RunBatch(prog *ir.Program, envs []*interp.Env, maxCycles int) []LaneResult {
-	out := make([]LaneResult, len(envs))
-	for start := 0; start < len(envs); start += MaxLanes {
-		end := min(start+MaxLanes, len(envs))
-		b := p.NewBatch(end - start)
-		for i := start; i < end; i++ {
-			// A failed load marks the lane; Run skips it.
-			_ = b.LoadEnv(i-start, prog, envs[i])
-		}
-		b.Run(maxCycles)
-		for i := start; i < end; i++ {
-			ln := i - start
-			out[i] = LaneResult{Cycles: b.Cycles(ln), Err: b.Err(ln)}
-			if out[i].Err == nil {
-				out[i].Err = b.StoreEnv(ln, prog, envs[i])
-			}
-		}
-	}
-	return out
 }

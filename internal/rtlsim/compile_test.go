@@ -43,11 +43,23 @@ func differentialDesigns(t *testing.T) map[string]*core.Result {
 	return designs
 }
 
-// TestCompiledDifferentialSuite pins the compiled batch path bit-for-bit
+// compileModes enumerates both compiled execution models: the
+// bit-sliced default and the struct-of-arrays reference it is pinned
+// against.
+var compileModes = []struct {
+	name    string
+	compile func(*rtl.Module) *rtlsim.Program
+}{
+	{"bitsliced", rtlsim.Compile},
+	{"soa", rtlsim.CompileSoA},
+}
+
+// TestCompiledDifferentialSuite pins both compiled batch paths — the
+// bit-sliced model and the struct-of-arrays reference — bit-for-bit
 // against the scalar Sim (the reference implementation) and the
-// behavioral interpreter on every DifferentialILD design: for each seeded
-// stimulus vector, all three executions must agree on every architectural
-// port and on the cycle count.
+// behavioral interpreter on every DifferentialILD design: for each
+// seeded stimulus vector, all four executions must agree on every
+// architectural port and on the per-trial cycle count.
 func TestCompiledDifferentialSuite(t *testing.T) {
 	for name, res := range differentialDesigns(t) {
 		name, res := name, res
@@ -60,7 +72,6 @@ func TestCompiledDifferentialSuite(t *testing.T) {
 
 			envs := make([]*interp.Env, trials)
 			refs := make([]*interp.Env, trials)
-			scalars := make([]*rtlsim.Sim, trials)
 			scalarCycles := make([]int, trials)
 			for i := range envs {
 				envs[i] = testutil.RandomEnv(input, rng)
@@ -76,28 +87,64 @@ func TestCompiledDifferentialSuite(t *testing.T) {
 				if err != nil {
 					t.Fatalf("trial %d: scalar run: %v", i, err)
 				}
-				scalars[i] = sim
 				scalarCycles[i] = cycles
 				if diff := sim.CompareEnv(input, refs[i]); diff != "" {
 					t.Fatalf("trial %d: scalar vs interp: %s", i, diff)
 				}
 			}
 
-			prog := rtlsim.Compile(res.Module)
-			for i, lr := range prog.RunBatch(input, envs, maxCycles) {
-				if lr.Err != nil {
-					t.Fatalf("trial %d: batch: %v", i, lr.Err)
+			for _, mode := range compileModes {
+				prog := mode.compile(res.Module)
+				batchEnvs := make([]*interp.Env, trials)
+				for i := range envs {
+					batchEnvs[i] = envs[i].Clone()
 				}
-				if lr.Cycles != scalarCycles[i] {
-					t.Fatalf("trial %d: batch ran %d cycles, scalar %d", i, lr.Cycles, scalarCycles[i])
-				}
-				// RunBatch stored the lane's final ports back into envs[i];
-				// it must match the behavioral reference exactly.
-				if diff := rtlsim.CompareEnvs(input, envs[i], refs[i]); diff != "" {
-					t.Fatalf("trial %d: batch vs interp: %s", i, diff)
+				for i, lr := range prog.RunBatch(input, batchEnvs, maxCycles) {
+					if lr.Err != nil {
+						t.Fatalf("trial %d: %s batch: %v", i, mode.name, lr.Err)
+					}
+					if lr.Cycles != scalarCycles[i] {
+						t.Fatalf("trial %d: %s batch ran %d cycles, scalar %d",
+							i, mode.name, lr.Cycles, scalarCycles[i])
+					}
+					// RunBatch stored the lane's final ports back into
+					// batchEnvs[i]; it must match the behavioral reference
+					// exactly.
+					if diff := rtlsim.CompareEnvs(input, batchEnvs[i], refs[i]); diff != "" {
+						t.Fatalf("trial %d: %s batch vs interp: %s", i, mode.name, diff)
+					}
 				}
 			}
 		})
+	}
+}
+
+// TestInstructionMix pins the width classification itself: a sequential
+// control-dominated design must compile to a stream with genuine packed
+// single-word instructions and boundary crossings under the bit-sliced
+// model, while the SoA reference must contain none; both models cover
+// every gate exactly once.
+func TestInstructionMix(t *testing.T) {
+	res := dataDependentDesign(t)
+	gates := len(res.Module.Gates)
+
+	bit := rtlsim.Compile(res.Module).Mix()
+	if bit.Total() != gates {
+		t.Fatalf("bit-sliced mix %+v covers %d insns, module has %d gates", bit, bit.Total(), gates)
+	}
+	if bit.Packed == 0 {
+		t.Fatalf("bit-sliced mix %+v has no packed instructions on a control-dominated design", bit)
+	}
+	if bit.Boundary == 0 {
+		t.Fatalf("bit-sliced mix %+v has no pack/unpack boundary instructions", bit)
+	}
+
+	soa := rtlsim.CompileSoA(res.Module).Mix()
+	if soa.Total() != gates {
+		t.Fatalf("SoA mix %+v covers %d insns, module has %d gates", soa, soa.Total(), gates)
+	}
+	if soa.Packed != 0 || soa.Boundary != 0 {
+		t.Fatalf("SoA reference mix %+v contains bit-sliced instructions", soa)
 	}
 }
 
@@ -330,6 +377,163 @@ func TestBatchZeroAllocPerCycle(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("batch Run allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestStaggeredWatchdogRetirement is the packed-retirement isolation
+// regression: when a shared watchdog bound lets some lanes finish and
+// times the rest out, every retired lane's result — including its
+// packed 1-bit registers — must be exactly what a solo run produces.
+// The cycles the survivors keep stepping after a lane retires must
+// never touch the retired lane's packed bits, and each timed-out lane
+// must report the watchdog error at exactly the bound.
+func TestStaggeredWatchdogRetirement(t *testing.T) {
+	res := dataDependentDesign(t)
+	input := res.Input
+	fullBound := rtlsim.WatchdogCycles(res.Module.NumStates)
+
+	const trials = rtlsim.MaxLanes
+	rng := rand.New(rand.NewSource(31))
+	envs := make([]*interp.Env, trials)
+	for i := range envs {
+		envs[i] = testutil.RandomEnv(input, rng)
+	}
+
+	for _, mode := range compileModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			prog := mode.compile(res.Module)
+
+			// Solo reference: each trial alone in a single-lane batch,
+			// full watchdog headroom.
+			refCycles := make([]int, trials)
+			refEnvs := make([]*interp.Env, trials)
+			for i := range envs {
+				solo := prog.NewBatch(1)
+				if err := solo.LoadEnv(0, input, envs[i].Clone()); err != nil {
+					t.Fatal(err)
+				}
+				if err := solo.Run(fullBound); err != nil {
+					t.Fatalf("trial %d solo: %v", i, err)
+				}
+				refCycles[i] = solo.Cycles(0)
+				refEnvs[i] = envs[i].Clone()
+				if err := solo.StoreEnv(0, input, refEnvs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Pick a bound strictly inside the finish-time spread, so the
+			// co-batched run genuinely staggers: some lanes retire, some
+			// hit the watchdog mid-batch.
+			minC, maxC := refCycles[0], refCycles[0]
+			for _, c := range refCycles {
+				minC, maxC = min(minC, c), max(maxC, c)
+			}
+			if minC == maxC {
+				t.Fatalf("workload finished every trial in %d cycles; want data-dependent spread", minC)
+			}
+			bound := (minC + maxC) / 2
+
+			batch := prog.NewBatch(trials)
+			for i := range envs {
+				if err := batch.LoadEnv(i, input, envs[i].Clone()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch.Run(bound)
+
+			retired, timedOut := 0, 0
+			for i := range envs {
+				if refCycles[i] <= bound {
+					retired++
+					if err := batch.Err(i); err != nil {
+						t.Fatalf("lane %d (finishes in %d <= bound %d): unexpected error %v",
+							i, refCycles[i], bound, err)
+					}
+					if !batch.Done(i) {
+						t.Fatalf("lane %d: finished solo in %d cycles but not done at bound %d",
+							i, refCycles[i], bound)
+					}
+					if got := batch.Cycles(i); got != refCycles[i] {
+						t.Fatalf("lane %d: %d cycles co-batched, %d solo", i, got, refCycles[i])
+					}
+					got := envs[i].Clone()
+					if err := batch.StoreEnv(i, input, got); err != nil {
+						t.Fatal(err)
+					}
+					if diff := rtlsim.CompareEnvs(input, got, refEnvs[i]); diff != "" {
+						t.Fatalf("lane %d: retired state corrupted by later cycles: %s", i, diff)
+					}
+				} else {
+					timedOut++
+					err := batch.Err(i)
+					if err == nil {
+						t.Fatalf("lane %d (needs %d > bound %d): expected watchdog error",
+							i, refCycles[i], bound)
+					}
+					if !strings.Contains(err.Error(), fmt.Sprint(bound)) {
+						t.Fatalf("lane %d: error %q does not mention the bound %d", i, err, bound)
+					}
+					if got := batch.Cycles(i); got != bound {
+						t.Fatalf("lane %d: watchdog fired at %d cycles, want exactly %d", i, got, bound)
+					}
+				}
+			}
+			if retired == 0 || timedOut == 0 {
+				t.Fatalf("bound %d did not stagger the batch: %d retired, %d timed out",
+					bound, retired, timedOut)
+			}
+		})
+	}
+}
+
+// TestBatchComposition is the co-batching property: a trial's result is
+// independent of which other trials share its batch. Random subsets of
+// the stimulus set, co-batched in random order, must reproduce each
+// member's solo (cycles, final ports) exactly.
+func TestBatchComposition(t *testing.T) {
+	res := dataDependentDesign(t)
+	input := res.Input
+	prog := rtlsim.Compile(res.Module)
+	maxCycles := rtlsim.WatchdogCycles(res.Module.NumStates)
+
+	const trials = 48
+	rng := rand.New(rand.NewSource(23))
+	base := make([]*interp.Env, trials)
+	refCycles := make([]int, trials)
+	refEnvs := make([]*interp.Env, trials)
+	for i := range base {
+		base[i] = testutil.RandomEnv(input, rng)
+		refEnvs[i] = base[i].Clone()
+		lr := prog.RunBatch(input, []*interp.Env{refEnvs[i]}, maxCycles)[0]
+		if lr.Err != nil {
+			t.Fatalf("trial %d solo: %v", i, lr.Err)
+		}
+		refCycles[i] = lr.Cycles
+	}
+
+	pick := rand.New(rand.NewSource(67))
+	for round := 0; round < 8; round++ {
+		k := 1 + pick.Intn(trials)
+		members := pick.Perm(trials)[:k]
+		envs := make([]*interp.Env, k)
+		for pos, idx := range members {
+			envs[pos] = base[idx].Clone()
+		}
+		for pos, lr := range prog.RunBatch(input, envs, maxCycles) {
+			idx := members[pos]
+			if lr.Err != nil {
+				t.Fatalf("round %d: trial %d: %v", round, idx, lr.Err)
+			}
+			if lr.Cycles != refCycles[idx] {
+				t.Fatalf("round %d: trial %d ran %d cycles co-batched with %d trials, %d solo",
+					round, idx, lr.Cycles, k, refCycles[idx])
+			}
+			if diff := rtlsim.CompareEnvs(input, envs[pos], refEnvs[idx]); diff != "" {
+				t.Fatalf("round %d: trial %d diverged co-batched: %s", round, idx, diff)
+			}
+		}
 	}
 }
 
